@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Figure-level benchmarks replay the paper's experiments at the ``quick``
+preset by default; set ``REPRO_BENCH_PRESET=default`` (or ``full``) for the
+paper-scale runs.  Each figure benchmark asserts the *shape* the paper
+reports — who wins, in which regime — on top of timing the harness.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return os.environ.get("REPRO_BENCH_PRESET", "quick")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

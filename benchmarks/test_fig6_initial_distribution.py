@@ -1,0 +1,55 @@
+"""Fig. 6 — influence of the initial particle distribution.
+
+Paper (Sect. IV-B, 256 procs on JuRoPA, method A): storing all particles on
+a single process is slowest (that process serializes all communication and
+the FMM computes sequentially); a random distribution is intermediate; the
+process-grid distribution cuts sorting/restoring by at least an order of
+magnitude versus random.
+"""
+
+import pytest
+
+from repro.bench.figures import fig6
+
+
+@pytest.fixture(scope="module")
+def results(preset):
+    return fig6(preset, quiet=True)
+
+
+@pytest.fixture(scope="module")
+def margins(preset):
+    """Shape margins: the contrasts sharpen with particles-per-process, so
+    the quick preset asserts looser factors than the paper-scale presets."""
+    if preset == "quick":
+        return {"sort_ratio": 3.0, "restore_ratio": 2.5}
+    return {"sort_ratio": 8.0, "restore_ratio": 5.0}
+
+
+def test_fig6_benchmark(benchmark, preset):
+    benchmark.pedantic(lambda: fig6(preset, quiet=True), rounds=1, iterations=1)
+
+
+class TestShape:
+    def test_single_process_slowest_total(self, results):
+        for solver in ("fmm", "p2nfft"):
+            r = results[solver]
+            assert r["single"]["total"] > r["random"]["total"]
+            assert r["random"]["total"] > r["grid"]["total"]
+
+    def test_fmm_single_is_sequential_compute(self, results):
+        """The FMM performs no load balancing, so the single-process case
+        costs an order of magnitude (roughly P/serial fraction) more."""
+        r = results["fmm"]
+        assert r["single"]["total"] > 10 * r["random"]["total"]
+
+    def test_grid_sort_order_of_magnitude_below_random(self, results, margins):
+        for solver in ("fmm", "p2nfft"):
+            r = results[solver]
+            assert r["grid"]["sort"] < r["random"]["sort"] / margins["sort_ratio"]
+            assert r["grid"]["restore"] < r["random"]["restore"] / margins["restore_ratio"]
+
+    def test_single_sort_worst(self, results):
+        for solver in ("fmm", "p2nfft"):
+            r = results[solver]
+            assert r["single"]["sort"] > r["random"]["sort"]

@@ -1,0 +1,72 @@
+"""Fig. 7 — method A vs method B over the first time steps.
+
+Paper (Sect. IV-C, 256 procs, random initial distribution): method A's
+sort/restore stay at their initial level every step; method B's sort and
+resort collapse by orders of magnitude from time step 1, cutting the total
+runtime to ~45 % (FMM) / ~20 % (P2NFFT) of method A.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig7
+
+
+@pytest.fixture(scope="module")
+def results(preset):
+    return fig7(preset, quiet=True)
+
+
+@pytest.fixture(scope="module")
+def collapse_factor(preset):
+    """B's sort collapse grows with particles-per-process (the paper reports
+    ~100x at n/P = 3240; the default preset reaches ~15-35x, quick ~3-5x)."""
+    return 3.0 if preset == "quick" else 8.0
+
+
+def test_fig7_benchmark(benchmark, preset):
+    benchmark.pedantic(lambda: fig7(preset, quiet=True), rounds=1, iterations=1)
+
+
+class TestShape:
+    def steady(self, series):
+        """Mean over time steps 1..N (exclude the initial run)."""
+        return float(np.mean(series[1:]))
+
+    def test_method_a_constant_over_steps(self, results):
+        for solver in ("fmm", "p2nfft"):
+            sort_a = results[solver]["A"]["sort"]
+            assert max(sort_a[1:]) < 1.3 * min(sort_a[1:])
+            assert sort_a[-1] > 0.5 * sort_a[0]
+
+    def test_method_b_sort_collapses(self, results, collapse_factor):
+        """B's sort drops by a large factor after step 0 (the paper reports
+        ~two orders of magnitude at its larger particles-per-process)."""
+        for solver in ("fmm", "p2nfft"):
+            b = results[solver]["B"]
+            assert self.steady(b["sort"]) < b["sort"][0] / collapse_factor
+
+    def test_method_b_resort_far_below_restore(self, results):
+        for solver in ("fmm", "p2nfft"):
+            restore_a = self.steady(results[solver]["A"]["restore"])
+            resort_b = self.steady(results[solver]["B"]["resort"])
+            assert resort_b < restore_a / 5
+
+    def test_totals_b_below_a(self, results):
+        """B's steady-state total < A's; the P2NFFT gains more because its
+        data handling is a larger share of its total."""
+        ratios = {}
+        for solver in ("fmm", "p2nfft"):
+            ta = self.steady(results[solver]["A"]["total"])
+            tb = self.steady(results[solver]["B"]["total"])
+            ratios[solver] = tb / ta
+            assert tb < ta
+        assert ratios["p2nfft"] < ratios["fmm"]
+
+    def test_initial_step_pays_for_resort(self, results):
+        """In the first execution the extra resort makes B no faster."""
+        for solver in ("fmm", "p2nfft"):
+            assert (
+                results[solver]["B"]["total"][0]
+                >= 0.95 * results[solver]["A"]["total"][0]
+            )

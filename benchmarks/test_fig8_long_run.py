@@ -1,0 +1,73 @@
+"""Fig. 8 — long runs from the process-grid initial distribution.
+
+Paper (Sect. IV-C, 256 procs, grid initial distribution, 1000 steps): both
+methods start with near-zero redistribution cost; as the particles drift
+away from the initial decomposition, method A's sort+restore *grows* (to
+~50 % of the FMM step total and ~75 % of the P2NFFT step total), while
+method B's sort+resort stays flat and small.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig8
+
+
+@pytest.fixture(scope="module")
+def results(preset):
+    return fig8(preset, quiet=True)
+
+
+@pytest.fixture(scope="module")
+def margins(preset):
+    """The redistribution *fraction* of the step total grows with the
+    particles-per-process ratio; quick-preset margins are looser."""
+    if preset == "quick":
+        return {"a_frac": 0.07, "a_total_growth": 1.05}
+    return {"a_frac": 0.12, "a_total_growth": 1.1}
+
+
+def test_fig8_benchmark(benchmark, preset):
+    benchmark.pedantic(lambda: fig8(preset, quiet=True), rounds=1, iterations=1)
+
+
+class TestShape:
+    def head_tail(self, series, frac=0.15):
+        k = max(1, int(len(series) * frac))
+        return float(np.mean(series[:k])), float(np.mean(series[-k:]))
+
+    def test_method_a_redistribution_grows(self, results):
+        for solver in ("fmm", "p2nfft"):
+            head, tail = self.head_tail(results[solver]["A"]["redist"])
+            assert tail > 2.5 * head, f"{solver}: A should grow with drift"
+
+    def test_method_b_stays_flat(self, results):
+        for solver in ("fmm", "p2nfft"):
+            head, tail = self.head_tail(results[solver]["B"]["redist"])
+            assert tail < 2.0 * head, f"{solver}: B must not grow"
+
+    def test_a_ends_above_b(self, results):
+        for solver in ("fmm", "p2nfft"):
+            _, tail_a = self.head_tail(results[solver]["A"]["redist"])
+            _, tail_b = self.head_tail(results[solver]["B"]["redist"])
+            assert tail_a > 3 * tail_b
+
+    def test_a_redistribution_becomes_large_fraction(self, results, margins):
+        """Late in the run, redistribution is a major share of A's step."""
+        for solver in ("fmm", "p2nfft"):
+            _, tail_r = self.head_tail(results[solver]["A"]["redist"])
+            _, tail_t = self.head_tail(results[solver]["A"]["total"])
+            assert tail_r / tail_t > margins["a_frac"]
+
+    def test_b_redistribution_small_fraction(self, results):
+        for solver in ("fmm", "p2nfft"):
+            _, tail_r = self.head_tail(results[solver]["B"]["redist"])
+            _, tail_t = self.head_tail(results[solver]["B"]["total"])
+            assert tail_r / tail_t < 0.30
+
+    def test_total_a_grows_total_b_flat(self, results, margins):
+        for solver in ("fmm", "p2nfft"):
+            head_a, tail_a = self.head_tail(results[solver]["A"]["total"])
+            head_b, tail_b = self.head_tail(results[solver]["B"]["total"])
+            assert tail_a > margins["a_total_growth"] * head_a
+            assert tail_b < 1.25 * head_b

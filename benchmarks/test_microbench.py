@@ -1,0 +1,78 @@
+"""Wall-clock microbenchmarks of the hot primitives (pytest-benchmark).
+
+These time the *implementation* (not the modeled virtual clock): Morton key
+generation, the redistribution data plane, the solver kernels.  Useful for
+tracking regressions of the simulator itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fine_grained import fine_grained_redistribute
+from repro.core.particles import ColumnBlock
+from repro.md.systems import silica_melt_system
+from repro.simmpi.collectives import alltoallv
+from repro.simmpi.machine import Machine
+from repro.solvers.fmm.tree import FMMTree
+from repro.solvers.p2nfft.linked_cell import LinkedCellNearField
+from repro.solvers.p2nfft.mesh import MeshSolver
+from repro.zorder.morton import morton_keys_of_positions
+
+
+@pytest.fixture(scope="module")
+def system():
+    return silica_melt_system(8192, seed=1)
+
+
+def test_morton_keys(benchmark, system):
+    benchmark(
+        morton_keys_of_positions, system.pos, system.offset, system.box, 5, True
+    )
+
+
+def test_alltoallv_dense(benchmark):
+    P = 256
+    rng = np.random.default_rng(0)
+    payloads = [
+        {int(d): rng.uniform(size=32) for d in rng.choice(P, 20, replace=False)}
+        for _ in range(P)
+    ]
+
+    def run():
+        m = Machine(P)
+        return alltoallv(m, payloads, "x")
+
+    benchmark(run)
+
+
+def test_fine_grained_redistribution(benchmark, system):
+    P = 64
+    owner = np.random.default_rng(1).integers(0, P, system.n)
+    blocks = [
+        ColumnBlock(pos=system.pos[owner == r], q=system.q[owner == r])
+        for r in range(P)
+    ]
+    targets = [
+        np.random.default_rng(r).integers(0, P, b.n) for r, b in enumerate(blocks)
+    ]
+
+    def run():
+        m = Machine(P)
+        return fine_grained_redistribute(m, blocks, lambda r, b: targets[r], "x")
+
+    benchmark(run)
+
+
+def test_fmm_evaluate(benchmark, system):
+    tree = FMMTree(4, 4, system.box, system.offset, periodic=True, lattice_shells=2)
+    benchmark(tree.evaluate, system.pos, system.q)
+
+
+def test_linked_cell_near_field(benchmark, system):
+    lc = LinkedCellNearField(system.box, system.offset, 4.8, alpha=0.6)
+    benchmark(lc.compute, system.pos, system.pos, system.q)
+
+
+def test_mesh_kspace(benchmark, system):
+    mesh = MeshSolver(32, system.box, system.offset, alpha=0.6)
+    benchmark(mesh.kspace, system.pos, system.q, system.pos)

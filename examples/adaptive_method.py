@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Adaptive redistribution-method selection (an extension beyond the paper).
+
+The paper leaves the A-vs-B choice to the application developer and shows
+it depends on the movement regime, the platform, and the scale.  This demo
+runs the built-in adaptive controller, which measures both methods online
+and switches — under heavy drift it uses method B's cheap incremental
+redistribution; right after any B step the application holds the solver
+layout, so method A becomes temporarily almost free and the controller
+exploits that too ("method A with automatic layout refreshes").
+
+Run:  python examples/adaptive_method.py
+"""
+
+import numpy as np
+
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi.costmodel import JUROPA
+from repro.simmpi.machine import Machine
+
+
+def run(system, method, drift_frac, steps=24, nprocs=64):
+    subdomain = float(system.box[0]) / round(nprocs ** (1 / 3))
+    cfg = SimulationConfig(
+        solver="p2nfft",
+        method=method,
+        distribution="grid",
+        dynamics="brownian",
+        brownian_step=drift_frac * subdomain,
+        adapt_every=5,
+        solver_kwargs={"compute": "skip"},
+        seed=1,
+    )
+    sim = Simulation(Machine(nprocs, profile=JUROPA), system, cfg)
+    sim.run(steps)
+    total = sum(
+        r.phase_time("sort")
+        + r.phase_time("restore")
+        + r.phase_time("resort")
+        + r.phase_time("resort_index")
+        for r in sim.records[1:]
+    )
+    return total, sim
+
+
+def main() -> None:
+    system = silica_melt_system(16384, seed=2)
+    for drift, label in ((0.3, "heavy drift"), (0.01, "light drift")):
+        print(f"\n=== {label} (per-step movement = {drift:.2f} subdomain widths) ===")
+        for method in ("A", "B", "adaptive"):
+            total, sim = run(system, method, drift)
+            seq = "".join(r.method[0] for r in sim.records[1:])
+            print(f"  {method:9s}: total redistribution {total * 1e3:7.3f} ms   steps: {seq}")
+    print(
+        "\nThe adaptive controller tracks the cheaper method in each regime"
+        "\nwithout being told the movement rate, platform, or scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A coupled particle dynamics simulation with methods A and B.
+
+Runs the paper's example application (Fig. 3): leapfrog integration with
+long-range forces from the FMM solver, once with method A (the library
+restores the original particle order and distribution every step) and once
+with method B (the application adopts the solver-specific order and resorts
+its velocities/accelerations via resort indices).
+
+Both runs produce *identical physics* — method B only changes where the
+data lives — but very different redistribution costs, printed per step.
+
+Run:  python examples/md_coupled_simulation.py [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.harness import step_breakdown
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi.costmodel import JUROPA
+from repro.simmpi.machine import Machine
+
+
+def run(system, method: str, steps: int) -> Simulation:
+    machine = Machine(32, profile=JUROPA)
+    cfg = SimulationConfig(
+        solver="fmm",
+        method=method,
+        dt=0.05,
+        distribution="random",
+        track_energy=True,
+        seed=3,
+    )
+    sim = Simulation(machine, system, cfg)
+    sim.run(steps)
+    return sim
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    system = silica_melt_system(n=3000, seed=7)
+    print(f"simulating {system.n} ions for {steps} steps with the FMM solver\n")
+
+    sims = {m: run(system, m, steps) for m in ("A", "B")}
+
+    print(f"{'step':>5} | {'A: sort':>10} {'A: restore':>10} | {'B: sort':>10} {'B: resort':>10}")
+    print("-" * 56)
+    for i in range(steps + 1):
+        a = step_breakdown(sims["A"].records[i])
+        b = step_breakdown(sims["B"].records[i])
+        label = "init" if i == 0 else str(i)
+        print(
+            f"{label:>5} | {a['sort']:>10.3e} {a['restore']:>10.3e} |"
+            f" {b['sort']:>10.3e} {b['resort']:>10.3e}"
+        )
+
+    print("\nmodeled total parallel times:")
+    for m, sim in sims.items():
+        print(f"  method {m}: {sim.machine.elapsed() * 1e3:8.2f} ms")
+
+    # identical physics despite different data layouts
+    state_a = sims["A"].gather_state()
+    state_b = sims["B"].gather_state()
+    drift = np.abs(state_a["pos"] - state_b["pos"]).max()
+    ea = sims["A"].records[-1].energy
+    eb = sims["B"].records[-1].energy
+    print(f"\nmax |pos_A - pos_B| = {drift:.2e} (identical trajectories)")
+    print(f"energy conservation: E0={sims['A'].records[0].energy:.4f} "
+          f"E{steps}={ea:.4f} (B: {eb:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Strong-scaling study: both solvers, both platforms, all three methods.
+
+A compact version of the paper's Fig. 9 experiment: the same particle
+system is simulated on increasing numbers of (simulated) processes, on the
+JuRoPA-like fat-tree profile and the Juqueen-like torus profile.  The
+redistribution machinery is fully exercised; solver arithmetic is charged
+from analytic workload estimates (``compute="skip"``) so the sweep stays
+fast at any scale.
+
+Run:  python examples/scaling_study.py [n_particles]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.harness import step_breakdown
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi.costmodel import JUQUEEN, JUROPA
+from repro.simmpi.machine import Machine
+
+
+def measure(system, solver, profile, nprocs, method, steps=2, warmup=3):
+    """Average modeled per-step solver time after a drift warmup."""
+    subdomain = float(system.box.min()) / round(nprocs ** (1.0 / 3.0))
+    cfg = SimulationConfig(
+        solver=solver,
+        method=method,
+        distribution="grid",
+        dynamics="brownian",
+        brownian_step=1.5 * subdomain / warmup,
+        solver_kwargs={"compute": "skip"},
+        seed=1,
+    )
+    sim = Simulation(Machine(nprocs, profile=profile), system, cfg)
+    sim.initialize()
+    for _ in range(warmup):
+        sim.step()
+    sim.config.brownian_step = 0.02 * subdomain
+    times = [step_breakdown(sim.step())["total"] for _ in range(steps)]
+    return float(np.mean(times))
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32768
+    system = silica_melt_system(n, seed=1)
+    configs = [
+        ("fmm", JUROPA, (8, 32, 128, 512)),
+        ("p2nfft", JUQUEEN, (16, 64, 256, 1024)),
+    ]
+    for solver, profile, proc_list in configs:
+        print(f"\n{solver.upper()} on the {profile.name} profile "
+              f"(n={n}; modeled ms per time step)")
+        print(f"{'procs':>6} | {'method A':>10} {'method B':>10} {'B+move':>10}")
+        print("-" * 44)
+        for P in proc_list:
+            row = [
+                measure(system, solver, profile, P, m) * 1e3
+                for m in ("A", "B", "B+move")
+            ]
+            print(f"{P:>6} | {row[0]:>10.3f} {row[1]:>10.3f} {row[2]:>10.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Writing your own parallel algorithm: per-rank SPMD programming.
+
+The library's solvers use the global-view primitives internally, but the
+simulated machine also exposes a classic per-rank SPMD interface
+(:mod:`repro.simmpi.spmd`): each rank runs the same Python function with
+blocking sends/receives and collectives, while the machine's virtual clocks
+price every operation.
+
+This demo implements a 1-D halo exchange + Jacobi smoothing — the textbook
+pattern behind the ghost-particle exchange of the P2NFFT solver — and
+prints the modeled communication cost on both platform profiles.
+
+Run:  python examples/spmd_halo_exchange.py
+"""
+
+import numpy as np
+
+from repro.simmpi.costmodel import JUQUEEN, JUROPA
+from repro.simmpi.machine import Machine
+from repro.simmpi.spmd import run_spmd
+
+
+def jacobi_1d(ctx, local, iterations=20):
+    """Smooth a strip of a global 1-D field with halo exchanges."""
+    left = ctx.rank - 1 if ctx.rank > 0 else None
+    right = ctx.rank + 1 if ctx.rank < ctx.nprocs - 1 else None
+    for _ in range(iterations):
+        # post halo values to both neighbors, then receive theirs
+        if left is not None:
+            ctx.send(left, local[:1], tag=1)
+        if right is not None:
+            ctx.send(right, local[-1:], tag=0)
+        halo_l = ctx.recv(left, tag=0) if left is not None else local[:1]
+        halo_r = ctx.recv(right, tag=1) if right is not None else local[-1:]
+        padded = np.concatenate([halo_l, local, halo_r])
+        local = 0.25 * padded[:-2] + 0.5 * padded[1:-1] + 0.25 * padded[2:]
+        # a residual check, like a solver's convergence test
+        ctx.allreduce(float(np.abs(np.diff(local)).max()), "max")
+    return local
+
+
+def main() -> None:
+    P = 8
+    n_local = 64
+    rng = np.random.default_rng(0)
+    strips = [rng.uniform(size=n_local) for _ in range(P)]
+
+    for profile in (JUROPA, JUQUEEN):
+        machine = Machine(P, profile=profile)
+        out = run_spmd(machine, jacobi_1d, [s.copy() for s in strips])
+        field = np.concatenate(out)
+        st = machine.trace.get("spmd")
+        print(
+            f"{profile.name:8s}: field mean {field.mean():.4f}  "
+            f"modeled time {machine.elapsed() * 1e3:.3f} ms  "
+            f"({st.messages} messages, {st.bytes} bytes)"
+        )
+    print("\nSame algorithm, same data — different modeled cost per platform.")
+
+
+if __name__ == "__main__":
+    main()

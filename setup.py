@@ -1,0 +1,7 @@
+"""Shim for environments without the ``wheel`` package (offline PEP 660
+editable installs need it).  ``pip install -e . --no-build-isolation`` uses
+this via the legacy path; configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

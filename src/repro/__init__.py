@@ -1,0 +1,27 @@
+"""repro — reproduction of Hofmann & Rünger, *Efficient Data Redistribution
+Methods for Coupled Parallel Particle Codes* (ICPP 2013).
+
+The package couples a particle dynamics simulation to two long-range
+interaction solvers (a tree-based FMM with Z-order-curve domain
+decomposition and a grid-based P2NFFT-style Ewald mesh solver with
+Cartesian process-grid decomposition) through a ScaFaCoS-like library
+interface, and implements the paper's two particle data redistribution
+methods:
+
+* **Method A** — restore the application's original particle order and
+  distribution after every solver execution;
+* **Method B** — keep the solver-specific order and distribution and resort
+  the application's additional particle data via *resort indices*, with
+  optional exploitation of the limited per-step particle movement
+  (merge-based parallel sorting / neighborhood communication).
+
+Start with :func:`repro.core.fcs_init` (the library interface) or
+:class:`repro.md.Simulation` (the coupled application).  See README.md for
+a quickstart and DESIGN.md for the full system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.handle import FCS, fcs_init
+
+__all__ = ["FCS", "fcs_init", "__version__"]

@@ -1,0 +1,25 @@
+"""Benchmark harness reproducing the paper's evaluation (Sect. IV).
+
+One entry point per figure:
+
+* :func:`~repro.bench.figures.fig6` — influence of the initial particle
+  distribution (single process / random / process grid) on total, sort and
+  restore runtimes of both solvers with method A (256 processes, JuRoPA).
+* :func:`~repro.bench.figures.fig7` — method A vs method B per-time-step
+  redistribution and total runtimes over the initial run and the first
+  eight time steps, random initial distribution.
+* :func:`~repro.bench.figures.fig8` — long simulations from a process-grid
+  initial distribution: method A's redistribution cost grows as the
+  particles drift away from the initial decomposition, method B stays flat.
+* :func:`~repro.bench.figures.fig9` — strong scaling of methods A, B and
+  B+max-movement: FMM on the JuRoPA profile, P2NFFT on the Juqueen
+  (torus) profile.
+
+Run from the command line: ``python -m repro.bench fig7 [--preset quick]``.
+All reported times are modeled (virtual-clock) seconds; see DESIGN.md §5.
+"""
+
+from repro.bench.figures import fig6, fig7, fig8, fig9
+from repro.bench.harness import BenchScale, PRESETS, step_breakdown
+
+__all__ = ["BenchScale", "PRESETS", "fig6", "fig7", "fig8", "fig9", "step_breakdown"]

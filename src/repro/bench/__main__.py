@@ -1,0 +1,134 @@
+"""Command-line benchmark runner: ``python -m repro.bench <figure> [...]``.
+
+Examples
+--------
+``python -m repro.bench fig6``
+``python -m repro.bench fig7 --preset quick``
+``python -m repro.bench fig8 --steps 120``
+``python -m repro.bench fig9 --preset full``
+``python -m repro.bench all``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import fig6, fig7, fig8, fig9, phases
+from repro.bench.harness import PRESETS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's evaluation figures (modeled runtimes).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=["fig6", "fig7", "fig8", "fig9", "phases", "all"],
+        help="which figure to regenerate ('phases' prints a per-phase step breakdown)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="default",
+        help="problem scale (quick / default / full)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="override the number of time steps (fig8 only)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="additionally export the series as CSV files into DIR",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII charts of the main series",
+    )
+    args = parser.parse_args(argv)
+
+    runners = {
+        "fig6": lambda: fig6(args.preset),
+        "fig7": lambda: fig7(args.preset),
+        "fig8": lambda: fig8(args.preset, steps=args.steps),
+        "fig9": lambda: fig9(args.preset),
+        "phases": lambda: phases(args.preset),
+    }
+    if args.figure == "all":
+        names = ["fig6", "fig7", "fig8", "fig9"]
+    else:
+        names = [args.figure]
+    for name in names:
+        t0 = time.time()
+        results = runners[name]()
+        if args.csv and name.startswith("fig"):
+            from repro.bench.export import figure_to_csv
+
+            for path in figure_to_csv(name, results, args.csv):
+                print(f"[wrote {path}]")
+        if args.chart:
+            _charts(name, results)
+        print(f"\n[{name} done in {time.time() - t0:.1f}s wall]")
+    return 0
+
+
+def _charts(name: str, results) -> None:
+    from repro.bench.export import ascii_chart
+
+    if name == "fig7":
+        for solver in results:
+            print(f"\n{solver} (per-step redistribution, log scale):")
+            print(
+                ascii_chart(
+                    {
+                        "sort+restore A": [
+                            a + b
+                            for a, b in zip(
+                                results[solver]["A"]["sort"],
+                                results[solver]["A"]["restore"],
+                            )
+                        ],
+                        "sort+resort B": [
+                            a + b
+                            for a, b in zip(
+                                results[solver]["B"]["sort"],
+                                results[solver]["B"]["resort"],
+                            )
+                        ],
+                    }
+                )
+            )
+    elif name == "fig8":
+        for solver in results:
+            print(f"\n{solver} (per-step redistribution, log scale):")
+            print(
+                ascii_chart(
+                    {
+                        "A": results[solver]["A"]["redist"],
+                        "B": results[solver]["B"]["redist"],
+                    }
+                )
+            )
+    elif name == "fig9":
+        for solver in results:
+            print(f"\n{solver} (projected totals, log scale):")
+            print(
+                ascii_chart(
+                    {
+                        "A": results[solver]["A"],
+                        "B": results[solver]["B"],
+                        "B+move": results[solver]["B+move"],
+                    }
+                )
+            )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Result export: CSV files and ASCII charts for the figure data.
+
+``python -m repro.bench fig8 --csv out/`` writes one CSV per figure panel so
+the series can be plotted with any external tool; :func:`ascii_chart` gives
+a quick in-terminal look at a series (log-scale aware), used by the CLI's
+``--chart`` flag.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from typing import Dict, List, Sequence
+
+__all__ = ["write_csv", "figure_to_csv", "ascii_chart"]
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write one CSV file, creating parent directories."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def figure_to_csv(name: str, results: Dict, out_dir: str) -> List[str]:
+    """Flatten a ``figN`` result dict into CSV files; returns the paths."""
+    paths: List[str] = []
+    if name == "fig6":
+        rows = [
+            [solver, dist, b["total"], b["sort"], b["restore"]]
+            for solver in results
+            for dist, b in results[solver].items()
+        ]
+        path = os.path.join(out_dir, "fig6.csv")
+        write_csv(path, ["solver", "distribution", "total", "sort", "restore"], rows)
+        paths.append(path)
+    elif name == "fig7":
+        for solver in results:
+            rows = []
+            n = len(results[solver]["A"]["total"])
+            for i in range(n):
+                rows.append(
+                    [i]
+                    + [results[solver]["A"][k][i] for k in ("sort", "restore", "total")]
+                    + [results[solver]["B"][k][i] for k in ("sort", "resort", "total")]
+                )
+            path = os.path.join(out_dir, f"fig7_{solver}.csv")
+            write_csv(
+                path,
+                ["step", "sort_A", "restore_A", "total_A", "sort_B", "resort_B", "total_B"],
+                rows,
+            )
+            paths.append(path)
+    elif name == "fig8":
+        for solver in results:
+            a = results[solver]["A"]
+            b = results[solver]["B"]
+            rows = [
+                [i + 1, a["redist"][i], a["total"][i], b["redist"][i], b["total"][i]]
+                for i in range(len(a["total"]))
+            ]
+            path = os.path.join(out_dir, f"fig8_{solver}.csv")
+            write_csv(
+                path,
+                ["step", "redist_A", "total_A", "redist_B", "total_B"],
+                rows,
+            )
+            paths.append(path)
+    elif name == "fig9":
+        for solver in results:
+            r = results[solver]
+            rows = [
+                [p, r["A"][i], r["B"][i], r["B+move"][i]]
+                for i, p in enumerate(r["procs"])
+            ]
+            path = os.path.join(out_dir, f"fig9_{solver}.csv")
+            write_csv(path, ["procs", "method_A", "method_B", "B_move"], rows)
+            paths.append(path)
+    else:
+        raise ValueError(f"unknown figure {name!r}")
+    return paths
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    log: bool = True,
+) -> str:
+    """Render named series as a rough ASCII line chart (shared axes)."""
+    symbols = "*+o#x@%&"
+    all_vals = [v for s in series.values() for v in s if v > 0 or not log]
+    if not all_vals:
+        return "(empty chart)"
+    if log:
+        lo = math.log10(min(v for v in all_vals if v > 0))
+        hi = math.log10(max(all_vals))
+    else:
+        lo, hi = min(all_vals), max(all_vals)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        n = len(values)
+        for i, v in enumerate(values):
+            if log and v <= 0:
+                continue
+            x = int(i * (width - 1) / max(n - 1, 1))
+            val = math.log10(v) if log else v
+            y = int((val - lo) / (hi - lo) * (height - 1))
+            y = min(max(y, 0), height - 1)
+            grid[height - 1 - y][x] = symbols[si % len(symbols)]
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]} {name}" for i, name in enumerate(series)
+    )
+    scale = "log10" if log else "linear"
+    lines.append(f" {legend}   [{scale}: {lo:.2f}..{hi:.2f}]")
+    return "\n".join(lines)

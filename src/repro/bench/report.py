@@ -1,0 +1,51 @@
+"""Plain-text rendering of benchmark results (paper-style tables/series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "print_header"]
+
+
+def print_header(title: str) -> None:
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}")
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    float_fmt: str = "{:.4e}",
+) -> str:
+    """Fixed-width table; floats formatted scientifically."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    float_fmt: str = "{:.4e}",
+) -> str:
+    """One row per x value, one column per named series."""
+    headers = [x_label] + list(series)
+    rows: List[List] = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, float_fmt)

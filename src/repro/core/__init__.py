@@ -1,0 +1,40 @@
+"""The paper's core contribution: the coupling-library interface and the two
+particle data redistribution methods.
+
+Public entry points
+-------------------
+:func:`~repro.core.handle.fcs_init` / :class:`~repro.core.handle.FCS`
+    ScaFaCoS-like solver handle (``fcs_init``, ``fcs_set_common``,
+    ``fcs_tune``, ``fcs_run``, ``fcs_resort_floats``, ``fcs_destroy``).
+:class:`~repro.core.particles.ParticleSet`
+    the application's distributed particle data (positions, charges, and the
+    per-rank capacity limits that gate method B).
+:mod:`~repro.core.fine_grained`
+    the fine-grained data redistribution operation [13,14]: every element is
+    sent to an individually computed target process, with optional
+    duplication (ghost particles).
+:mod:`~repro.core.resort`
+    64-bit resort indices (target rank << 32 | target position), their
+    creation by permutation inversion, and their application to additional
+    application data (velocities, accelerations).
+:mod:`~repro.core.movement`
+    maximum-movement bookkeeping and the heuristics of Sect. III-B.
+"""
+
+from repro.core.handle import FCS, fcs_init
+from repro.core.particles import ColumnBlock, ParticleSet
+from repro.core.resort import (
+    RESORT_POS_BITS,
+    pack_resort_index,
+    unpack_resort_index,
+)
+
+__all__ = [
+    "FCS",
+    "fcs_init",
+    "ColumnBlock",
+    "ParticleSet",
+    "RESORT_POS_BITS",
+    "pack_resort_index",
+    "unpack_resort_index",
+]

@@ -1,0 +1,234 @@
+"""The ScaFaCoS-like library interface (``fcs_*``).
+
+Mirrors the usage protocol of Sect. II-A of the paper:
+
+>>> fcs = fcs_init("fmm", machine)                     # choose solver
+>>> fcs.set_common(box=(248.,)*3, periodic=True)       # system properties
+>>> fcs.set_resort(True)                               # opt into method B
+>>> fcs.tune(particles)                                # optional tuning step
+>>> report = fcs.run(particles)                        # compute interactions
+>>> if fcs.resort_availability():                      # did order change?
+...     vel = fcs.resort_floats(vel)                   # adapt extra data
+>>> fcs.destroy()
+
+``run`` computes potentials and fields for the particle positions/charges in
+a :class:`~repro.core.particles.ParticleSet`.  With resorting disabled
+(method A) the original particle order and distribution is restored; with
+resorting enabled (method B) the solver-specific order and distribution is
+returned whenever the application's local particle arrays are large enough,
+and :meth:`FCS.resort_floats` / :meth:`FCS.resort_ints` redistribute
+additional application data the solver does not know about (velocities,
+accelerations, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.particles import ColumnBlock, ParticleSet
+from repro.core.resort import apply_resort
+from repro.simmpi.machine import Machine
+from repro.solvers.base import RunReport, Solver
+
+__all__ = ["FCS", "fcs_init", "register_solver", "available_solvers"]
+
+
+_REGISTRY: Dict[str, Callable[..., Solver]] = {}
+
+
+def register_solver(name: str, factory: Callable[..., Solver]) -> None:
+    """Register a solver factory under an ``fcs_init`` method name."""
+    _REGISTRY[name] = factory
+
+
+def _ensure_builtin_registry() -> None:
+    # populated lazily to avoid import cycles between core and solvers
+    if _REGISTRY:
+        return
+    from repro.solvers.fmm.solver import FMMSolver
+    from repro.solvers.p2nfft.solver import P2NFFTSolver
+    from repro.solvers.direct_solver import DirectSolver
+    from repro.solvers.ewald_solver import EwaldSolver
+
+    _REGISTRY.setdefault("fmm", FMMSolver)
+    _REGISTRY.setdefault("p2nfft", P2NFFTSolver)
+    _REGISTRY.setdefault("direct", DirectSolver)
+    _REGISTRY.setdefault("ewald", EwaldSolver)
+
+
+def available_solvers() -> List[str]:
+    """Names accepted by :func:`fcs_init`."""
+    _ensure_builtin_registry()
+    return sorted(_REGISTRY)
+
+
+def fcs_init(method: str, machine: Machine, **solver_kwargs) -> "FCS":
+    """Create a new solver instance (``fcs_init``).
+
+    ``method`` selects the solver ("fmm", "p2nfft", "direct"); ``machine``
+    plays the role of the MPI communicator specifying the group of parallel
+    processes that execute the solver.
+    """
+    _ensure_builtin_registry()
+    try:
+        factory = _REGISTRY[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {method!r}; available: {available_solvers()}"
+        ) from None
+    return FCS(factory(machine, **solver_kwargs), machine)
+
+
+class FCS:
+    """Handle for one solver instance (the ``FCS`` handle of the C API)."""
+
+    def __init__(self, solver: Solver, machine: Machine) -> None:
+        self._solver = solver
+        self.machine = machine
+        self._resort_requested = False
+        self._max_move: Optional[float] = None
+        self._last_report: Optional[RunReport] = None
+        self._destroyed = False
+
+    # -- configuration -----------------------------------------------------------
+
+    @property
+    def method(self) -> str:
+        return self._solver.name
+
+    @property
+    def solver(self) -> Solver:
+        """The underlying solver (for solver-specific setter functions)."""
+        return self._solver
+
+    def set_common(self, box, offset=(0.0, 0.0, 0.0), periodic: bool = True) -> None:
+        """Set particle-system properties (``fcs_set_common``)."""
+        self._check_alive()
+        self._solver.set_common(box, offset, periodic)
+
+    def set_resort(self, flag: bool) -> None:
+        """Opt into method B: request the solver-specific particle order and
+        distribution to be returned from :meth:`run`."""
+        self._check_alive()
+        self._resort_requested = bool(flag)
+
+    def set_max_particle_move(self, max_move: Optional[float]) -> None:
+        """Pass the application's bound on the maximum particle movement
+        since the previous :meth:`run` (``None`` = unknown).  Enables the
+        limited-movement redistribution strategies."""
+        self._check_alive()
+        if max_move is not None and max_move < 0:
+            raise ValueError(f"max_move must be non-negative, got {max_move}")
+        self._max_move = max_move
+
+    # -- execution -----------------------------------------------------------------
+
+    def tune(self, particles: ParticleSet, accuracy: float = 1e-3) -> None:
+        """Tuning step (``fcs_tune``)."""
+        self._check_alive()
+        self._solver.tune(particles, accuracy)
+
+    def run(self, particles: ParticleSet) -> RunReport:
+        """Compute the long-range interactions (``fcs_run``).
+
+        Writes potentials and fields into ``particles``.  Returns the run
+        report; use :meth:`resort_availability` for the paper's query
+        function telling whether the particle order and distribution was
+        changed.
+        """
+        self._check_alive()
+        report = self._solver.run(
+            particles, resort=self._resort_requested, max_move=self._max_move
+        )
+        self._last_report = report
+        self._max_move = None  # a bound holds for one run only
+        return report
+
+    # -- method B support --------------------------------------------------------------
+
+    def resort_availability(self) -> bool:
+        """Whether the last run returned the changed (solver-specific)
+        particle order and distribution, i.e. whether resort indices exist.
+
+        ``False`` after a method-A run, before any run, or when the local
+        particle data arrays of at least one process were too small so the
+        original order and distribution had to be restored.
+        """
+        return bool(self._last_report and self._last_report.changed)
+
+    def resort_floats(self, data: List[np.ndarray]) -> List[np.ndarray]:
+        """Redistribute additional per-particle float data
+        (``fcs_resort_floats``).
+
+        ``data`` holds one array per rank in the *original* order and
+        distribution of the particles before the last run; shapes may be
+        ``(n_i,)`` or ``(n_i, k)``.  Returns the data in the changed order
+        and distribution.
+        """
+        return self._resort(data, np.float64)
+
+    def resort_ints(self, data: List[np.ndarray]) -> List[np.ndarray]:
+        """Redistribute additional per-particle integer data
+        (``fcs_resort_ints``)."""
+        return self._resort(data, np.int64)
+
+    def resort_bytes(self, data: List[np.ndarray]) -> List[np.ndarray]:
+        """Redistribute additional per-particle raw byte data
+        (``fcs_resort_bytes``): arbitrary fixed-size per-particle records as
+        ``(n_i, k)`` uint8 arrays."""
+        return self._resort(data, np.uint8)
+
+    def _resort(self, data: List[np.ndarray], dtype) -> List[np.ndarray]:
+        self._check_alive()
+        report = self._last_report
+        if report is None or not report.changed or report.resort_indices is None:
+            raise RuntimeError(
+                "resort indices unavailable: the last run did not return the "
+                "changed particle order (check resort_availability())"
+            )
+        if len(data) != self.machine.nprocs:
+            raise ValueError(f"{len(data)} data arrays for {self.machine.nprocs} ranks")
+        blocks = []
+        for r, arr in enumerate(data):
+            arr = np.ascontiguousarray(arr, dtype=dtype)
+            expected = int(report.old_counts[r])
+            if arr.shape[0] != expected:
+                raise ValueError(
+                    f"rank {r}: data has {arr.shape[0]} rows, original particle "
+                    f"count was {expected}"
+                )
+            blocks.append(ColumnBlock(data=arr))
+        comm = "neighborhood" if report.strategy.endswith("neighborhood") else "alltoall"
+        out = apply_resort(
+            self.machine,
+            report.resort_indices,
+            blocks,
+            [int(c) for c in report.new_counts],
+            phase="resort",
+            comm=comm,
+        )
+        return [b["data"] for b in out]
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def destroy(self) -> None:
+        """Release the solver instance and its resources (``fcs_destroy``)."""
+        if not self._destroyed:
+            self._solver.destroy()
+            self._destroyed = True
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise RuntimeError("FCS handle already destroyed")
+
+    def __enter__(self) -> "FCS":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.destroy()
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else "active"
+        return f"FCS(method={self.method!r}, {state})"

@@ -1,0 +1,189 @@
+"""Resort indices: 64-bit packed (target rank, target position) values.
+
+Method B's central data structure (Sect. III-B of the paper): after a solver
+has reordered and redistributed the particles, it leaves behind *resort
+indices* — for each **original** particle, a 64-bit integer whose upper
+32 bits hold the target process rank and whose lower 32 bits hold the target
+position on that process.  The library functions
+``fcs_resort_floats``/``fcs_resort_ints`` then move any additional
+application-specific particle data (velocities, accelerations, ...) to the
+solver-specific order and distribution using one fine-grained
+redistribution followed by a local permutation.
+
+The same packing is used for the *index values* the P2NFFT solver attaches
+to particle copies ("an 64-bit integer using 32 bit to store the rank of the
+source process and 32 bit to store the source position", Sect. III-A), and
+for the FMM's global consecutive initial numbering.  :data:`GHOST_INDEX`
+marks ghost-particle duplicates ("ghost particles have an invalid index
+value").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fine_grained import fine_grained_redistribute
+from repro.core.particles import ColumnBlock
+from repro.simmpi.machine import Machine
+
+__all__ = [
+    "RESORT_POS_BITS",
+    "GHOST_INDEX",
+    "pack_resort_index",
+    "unpack_resort_index",
+    "initial_numbering",
+    "invert_indices",
+    "apply_resort",
+]
+
+#: number of low bits storing the target position (upper bits: target rank)
+RESORT_POS_BITS = 32
+_POS_MASK = (1 << RESORT_POS_BITS) - 1
+
+#: invalid index value marking ghost-particle duplicates
+GHOST_INDEX = np.int64(-1)
+
+
+def pack_resort_index(ranks: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Pack (rank, position) pairs into int64 index values."""
+    ranks = np.asarray(ranks, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if np.any(ranks < 0) or np.any(ranks > _POS_MASK):
+        raise ValueError("ranks out of 32-bit range")
+    if np.any(positions < 0) or np.any(positions > _POS_MASK):
+        raise ValueError("positions out of 32-bit range")
+    return (ranks << RESORT_POS_BITS) | positions
+
+
+def unpack_resort_index(indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_resort_index`; returns ``(ranks, positions)``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if np.any(indices < 0):
+        raise ValueError("cannot unpack invalid (ghost) index values")
+    return indices >> RESORT_POS_BITS, indices & _POS_MASK
+
+
+def initial_numbering(counts: Sequence[int]) -> List[np.ndarray]:
+    """Per-rank packed (rank, local position) numbering of the particles.
+
+    This is the "consecutive numbering of the initial particles ... such
+    that the particles of each single process are consecutively numbered"
+    the FMM solver carries through its parallel sort (Sect. III-A).
+    """
+    return [
+        pack_resort_index(np.full(int(n), r, dtype=np.int64), np.arange(int(n), dtype=np.int64))
+        for r, n in enumerate(counts)
+    ]
+
+
+def invert_indices(
+    machine: Machine,
+    origloc: Sequence[np.ndarray],
+    orig_counts: Sequence[int],
+    phase: Optional[str] = None,
+    *,
+    comm: str = "alltoall",
+) -> List[np.ndarray]:
+    """Invert a distributed permutation given in original-location form.
+
+    ``origloc[r][i]`` is the packed original location (rank, position) of
+    the particle currently stored at position ``i`` on rank ``r`` — the
+    numbering that the solvers carried through their reordering.  The
+    inverse, returned here, is the *resort index* array: for each rank
+    ``s`` an array of length ``orig_counts[s]`` whose entry at original
+    position ``p`` packs the particle's **current** (changed) location.
+
+    Implemented exactly as the paper describes for the FMM (Fig. 5):
+    initialize new index values consecutively for the changed particles and
+    send them back according to the original numbering — one fine-grained
+    redistribution plus a local permutation.  This inversion is the
+    "additional communication step required for resorting" that makes
+    method B pay off only when its other redistributions shrink.
+    """
+    if len(origloc) != machine.nprocs or len(orig_counts) != machine.nprocs:
+        raise ValueError("origloc/orig_counts must have one entry per rank")
+    blocks: List[ColumnBlock] = []
+    for r, ol in enumerate(origloc):
+        ol = np.asarray(ol, dtype=np.int64)
+        cur = pack_resort_index(
+            np.full(ol.shape[0], r, dtype=np.int64), np.arange(ol.shape[0], dtype=np.int64)
+        )
+        blocks.append(ColumnBlock(origloc=ol, current=cur))
+
+    def to_original(rank: int, block: ColumnBlock) -> np.ndarray:
+        ranks, _ = unpack_resort_index(block["origloc"])
+        return ranks
+
+    received = fine_grained_redistribute(machine, blocks, to_original, phase, comm=comm)
+
+    out: List[np.ndarray] = []
+    for r, block in enumerate(received):
+        n = int(orig_counts[r])
+        if block.n != n:
+            raise ValueError(
+                f"rank {r}: received {block.n} index values for {n} original particles"
+            )
+        _, pos = unpack_resort_index(block["origloc"])
+        result = np.empty(n, dtype=np.int64)
+        result[pos] = block["current"]
+        out.append(result)
+    # local permutation cost: scatter 8-byte values into place, per rank
+    machine.copy(8.0 * np.asarray([int(c) for c in orig_counts], dtype=np.float64), phase)
+    return out
+
+
+def apply_resort(
+    machine: Machine,
+    resort_indices: Sequence[np.ndarray],
+    data: Sequence[ColumnBlock],
+    new_counts: Sequence[int],
+    phase: Optional[str] = None,
+    *,
+    comm: str = "alltoall",
+) -> List[ColumnBlock]:
+    """Redistribute additional particle data according to resort indices.
+
+    This is the engine behind ``fcs_resort_floats``/``fcs_resort_ints``:
+    each original particle's extra columns are sent to the target process
+    from its resort index and stored at the target position ("the
+    fine-grained data redistribution operation followed by a permutation
+    according to the target positions contained in the resort indices",
+    Sect. III-B).
+    """
+    if not (len(resort_indices) == len(data) == len(new_counts) == machine.nprocs):
+        raise ValueError("per-rank sequences must have one entry per rank")
+    blocks: List[ColumnBlock] = []
+    for r, (idx, block) in enumerate(zip(resort_indices, data)):
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.shape != (block.n,):
+            raise ValueError(
+                f"rank {r}: {idx.shape[0]} resort indices for {block.n} data rows"
+            )
+        b = block.copy()
+        b["_resort"] = idx
+        blocks.append(b)
+
+    def to_target(rank: int, block: ColumnBlock) -> np.ndarray:
+        ranks, _ = unpack_resort_index(block["_resort"])
+        return ranks
+
+    received = fine_grained_redistribute(machine, blocks, to_target, phase, comm=comm)
+
+    out: List[ColumnBlock] = []
+    per_rank_bytes = np.zeros(machine.nprocs, dtype=np.float64)
+    for r, block in enumerate(received):
+        n = int(new_counts[r])
+        if block.n != n:
+            raise ValueError(f"rank {r}: received {block.n} rows, expected {n}")
+        _, pos = unpack_resort_index(block["_resort"])
+        if n and (np.any(np.bincount(pos, minlength=n) != 1)):
+            raise ValueError(f"rank {r}: target positions are not a permutation")
+        inv = np.empty(n, dtype=np.int64)
+        inv[pos] = np.arange(n, dtype=np.int64)
+        result = block.drop("_resort").take(inv)
+        out.append(result)
+        per_rank_bytes[r] = result.nbytes
+    machine.copy(per_rank_bytes, phase)
+    return out

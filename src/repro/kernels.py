@@ -1,0 +1,42 @@
+"""Nominal compute-kernel cost constants (seconds on a JuRoPA-class core).
+
+Every compute phase of the solvers and the application charges the machine
+clocks through these constants, scaled by the *actual* workload counts the
+algorithms produce on real data (real particle pair counts, real expansion
+sizes, real mesh sizes).  The constants are order-of-magnitude estimates of
+optimized C kernels on the paper's 2013 hardware; they are shape parameters
+of the performance model, not measurements (DESIGN.md §5).
+
+All values are per elementary operation:
+"""
+
+#: one comparison-move step of a record sort, per element and per log2(n)
+#: pass (40-80 byte particle records, cache-unfriendly gathers)
+SORT_STEP = 2.5e-8
+
+#: one comparison-move step of a bare 8-byte key sort (splitter samples)
+KEY_SORT_STEP = 5.0e-9
+
+#: one pairwise charge-charge interaction (distance, 1/r kernel, accumulate)
+PAIR_INTERACTION = 8.0e-9
+
+#: one Ewald real-space pair (erfc + exp evaluation: ~2-3x a plain pair)
+ERFC_PAIR = 2.0e-8
+
+#: one multipole/local expansion coefficient multiply-accumulate
+EXPANSION_TERM = 2.5e-9
+
+#: generating one particle's Morton key (scale, floor, interleave)
+KEY_GENERATION = 4.0e-9
+
+#: assigning one particle to the mesh (CIC: 8 cells) or back-interpolating
+MESH_ASSIGNMENT = 2.4e-8
+
+#: one complex mesh point per log2(M^3) butterfly stage of an FFT
+FFT_POINT_STAGE = 2.0e-9
+
+#: one particle's leapfrog position/velocity update
+INTEGRATION_STEP = 8.0e-9
+
+#: one particle's linked-cell binning step
+CELL_BINNING = 6.0e-9

@@ -1,0 +1,31 @@
+"""Particle dynamics simulation application (Sect. II-D of the paper).
+
+The example application couples the ScaFaCoS-like library interface with a
+second-order leapfrog integrator.  Per time step it updates positions,
+executes the solver (``fcs_run``), derives accelerations from the
+calculated field values, and updates velocities — Fig. 3's pseudocode.
+Method A keeps the application's own particle order and distribution;
+method B adopts the solver-specific one and resorts the velocities and
+accelerations through ``fcs_resort_floats`` after each run.
+
+* :mod:`repro.md.systems` — particle system generation (the melting-silica
+  analogue) with scaled sizes,
+* :mod:`repro.md.distributions` — the three initial distributions compared
+  in the paper (single process / uniformly random / Cartesian process grid),
+* :mod:`repro.md.integrator` — the leapfrog scheme of Eqs. (1)-(2),
+* :mod:`repro.md.simulation` — the full coupled simulation loop with
+  per-step phase timing,
+* :mod:`repro.md.observables` — energies, momentum, displacement tracking.
+"""
+
+from repro.md.simulation import Simulation, SimulationConfig, StepRecord
+from repro.md.systems import silica_melt_system
+from repro.md.distributions import distribute
+
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "StepRecord",
+    "distribute",
+    "silica_melt_system",
+]

@@ -1,0 +1,71 @@
+"""Initial particle distributions among the parallel processes.
+
+Sect. IV-B of the paper compares three initial distributions:
+
+* ``"single"`` — all particles on one single process (the communication
+  bottleneck case),
+* ``"random"`` — uniformly random distribution of particles among
+  processes,
+* ``"grid"`` — a domain decomposition that distributes particles uniformly
+  among a Cartesian process grid (each particle on the rank owning its
+  position).
+
+:func:`distribute` splits a generated :class:`~repro.md.systems
+.ParticleSystem` accordingly and returns both the solver-facing
+:class:`~repro.core.particles.ParticleSet` and the distributed
+application-side data (velocities), plus the assignment for test
+verification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.particles import ParticleSet
+from repro.md.systems import ParticleSystem
+from repro.simmpi.cart import CartGrid
+
+__all__ = ["distribute", "DISTRIBUTIONS"]
+
+DISTRIBUTIONS = ("single", "random", "grid")
+
+
+def distribute(
+    system: ParticleSystem,
+    nprocs: int,
+    kind: str,
+    seed: int = 0,
+    capacity_factor: float = 3.0,
+) -> Tuple[ParticleSet, List[np.ndarray], np.ndarray]:
+    """Distribute a particle system among ``nprocs`` ranks.
+
+    Returns ``(particle_set, velocities_per_rank, owner)`` where ``owner``
+    maps each global particle index to its initial rank.
+    """
+    n = system.n
+    if kind == "single":
+        owner = np.zeros(n, dtype=np.int64)
+    elif kind == "random":
+        rng = np.random.default_rng(seed)
+        owner = rng.integers(0, nprocs, n)
+    elif kind == "grid":
+        grid = CartGrid(nprocs, system.box, system.offset, periodic=True)
+        owner = grid.rank_of_positions(system.pos)
+    else:
+        raise ValueError(f"unknown distribution {kind!r}; pick from {DISTRIBUTIONS}")
+
+    pos_r = [np.ascontiguousarray(system.pos[owner == r]) for r in range(nprocs)]
+    q_r = [np.ascontiguousarray(system.q[owner == r]) for r in range(nprocs)]
+    vel_r = [np.ascontiguousarray(system.vel[owner == r]) for r in range(nprocs)]
+    # the "single" distribution needs capacity for the whole system on rank
+    # 0 and for a balanced share everywhere else
+    if kind == "single":
+        capacities = [max(n, 1)] * nprocs
+    else:
+        per = max(1, -(-n // nprocs))
+        capacities = [int(np.ceil(capacity_factor * per))] * nprocs
+        capacities = [max(c, p.shape[0]) for c, p in zip(capacities, pos_r)]
+    pset = ParticleSet(pos_r, q_r, capacities=capacities)
+    return pset, vel_r, owner

@@ -1,0 +1,365 @@
+"""The coupled particle dynamics simulation (Fig. 3 of the paper).
+
+:class:`Simulation` wires the pieces together: a generated particle system,
+one of the three initial distributions, a solver behind the ScaFaCoS-like
+``FCS`` handle, the leapfrog integrator, and one of the redistribution
+methods:
+
+* ``method="A"`` — the library restores the original particle order and
+  distribution after every ``fcs_run`` (Sect. III-A),
+* ``method="B"`` — the application adopts the solver-specific order and
+  distribution; after each run the velocities and accelerations (and the
+  particle identities, via ``fcs_resort_ints``) are redistributed with the
+  solver-created resort indices (Sect. III-B),
+* ``method="B+move"`` — additionally the maximum particle movement measured
+  during the position update is passed to the solver, enabling the
+  merge-based parallel sorting (FMM) / neighborhood communication (P2NFFT).
+
+Every step produces a :class:`StepRecord` with the per-phase virtual-time
+deltas — the data behind each of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.handle import FCS, fcs_init
+from repro.md.distributions import distribute
+from repro.md.integrator import accelerations, position_update, velocity_update
+from repro.md.observables import kinetic_energy, potential_energy
+from repro.md.systems import ParticleSystem
+from repro.simmpi.machine import Machine
+from repro.simmpi.tracing import PhaseStats
+
+__all__ = ["Simulation", "SimulationConfig", "StepRecord"]
+
+METHODS = ("A", "B", "B+move", "adaptive")
+
+
+@dataclasses.dataclass
+class SimulationConfig:
+    """Knobs of the coupled simulation."""
+
+    solver: str = "fmm"
+    method: str = "A"
+    dt: float = 0.01
+    accuracy: float = 1e-3
+    distribution: str = "random"
+    track_energy: bool = False
+    mass: float = 1.0
+    seed: int = 0
+    solver_kwargs: dict = dataclasses.field(default_factory=dict)
+    #: ``"force"`` integrates the solver's fields (full physics);
+    #: ``"brownian"`` replaces the forces by persistent randomly rotating
+    #: velocities of fixed per-step displacement ``brownian_step`` — a
+    #: surrogate for the melt's diffusive drift used by the long-running
+    #: redistribution benchmarks (all redistribution stays data-real)
+    dynamics: str = "force"
+    brownian_step: float = 0.05
+    #: for ``method="adaptive"``: how many steps between re-evaluations of
+    #: the A-vs-B choice (an extension beyond the paper: the application
+    #: trials both redistribution methods online and keeps the cheaper one)
+    adapt_every: int = 25
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}, got {self.method!r}")
+        if self.dynamics not in ("force", "brownian"):
+            raise ValueError(
+                f"dynamics must be 'force' or 'brownian', got {self.dynamics!r}"
+            )
+
+
+@dataclasses.dataclass
+class StepRecord:
+    """Per-step timing and diagnostics."""
+
+    step: int
+    #: per-phase virtual-time/message/byte deltas of this step
+    phases: Dict[str, PhaseStats]
+    #: total virtual-time delta of the step
+    total_time: float
+    #: global maximum particle displacement during the position update
+    max_move: float
+    #: whether the solver returned the changed order (method B succeeded)
+    changed: bool
+    #: solver strategy ("partition", "merge", "grid+alltoall", ...)
+    strategy: str
+    #: redistribution method in effect ("A", "B", "B+move")
+    method: str = ""
+    energy: Optional[float] = None
+
+    def phase_time(self, *labels: str) -> float:
+        """Summed virtual time of the given phase labels in this step."""
+        return sum(self.phases[l].time for l in labels if l in self.phases)
+
+
+class Simulation:
+    """A particle dynamics simulation coupled to a long-range solver."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        system: ParticleSystem,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.machine = machine
+        self.system = system
+        self.config = config or SimulationConfig()
+        cfg = self.config
+
+        self.particles, self.vel, owner = distribute(
+            system, machine.nprocs, cfg.distribution, seed=cfg.seed
+        )
+        self.ids: List[np.ndarray] = [
+            np.flatnonzero(owner == r).astype(np.int64) for r in range(machine.nprocs)
+        ]
+        self.acc: List[np.ndarray] = [np.zeros_like(p) for p in self.particles.pos]
+
+        self.fcs: FCS = fcs_init(cfg.solver, machine, **cfg.solver_kwargs)
+        self.fcs.set_common(system.box, system.offset, periodic=True)
+        #: the redistribution method in effect this step ("A" or "B"/"B+move");
+        #: fixed unless method="adaptive"
+        self.active_method = "B" if cfg.method == "adaptive" else cfg.method
+        self._adaptive_trial: Optional[str] = None
+        self._method_costs: Dict[str, float] = {}
+        self._switch_transient = False
+        if self.active_method in ("B", "B+move"):
+            self.fcs.set_resort(True)
+        self.records: List[StepRecord] = []
+        self.step_index = 0
+        self._initialized = False
+        self._last_max_move: Optional[float] = None
+        self._rng = np.random.default_rng(cfg.seed + 7919)
+        if cfg.dynamics == "brownian":
+            # initialize random walk directions — unless the system already
+            # carries velocities (e.g. restarted from a checkpoint)
+            has_velocities = any(v.size and np.abs(v).max() > 0 for v in self.vel)
+            if not has_velocities:
+                speed = cfg.brownian_step / cfg.dt
+                self.vel = [
+                    self._random_directions(v.shape[0]) * speed for v in self.vel
+                ]
+
+    # -- setup (Fig. 3, lines 2-6) ------------------------------------------------
+
+    def initialize(self) -> StepRecord:
+        """Tune the solver and compute the initial interactions/accelerations."""
+        if self._initialized:
+            raise RuntimeError("simulation already initialized")
+        cfg = self.config
+        snap = self.machine.trace.snapshot()
+        t0 = self.machine.elapsed()
+        self.fcs.tune(self.particles, cfg.accuracy)
+        report = self.fcs.run(self.particles)
+        if report.changed:
+            self._resort_application_data(report)
+        self.acc = accelerations(self.particles.q, self.particles.field, cfg.mass)
+        record = StepRecord(
+            step=0,
+            phases=self.machine.trace.delta_since(snap),
+            total_time=self.machine.elapsed() - t0,
+            max_move=0.0,
+            changed=report.changed,
+            strategy=report.strategy,
+            method=self.active_method,
+            energy=self._energy() if cfg.track_energy else None,
+        )
+        self.records.append(record)
+        self._initialized = True
+        return record
+
+    # -- one loop iteration (Fig. 3, lines 9-12) --------------------------------------
+
+    def step(self) -> StepRecord:
+        """Advance the simulation by one time step."""
+        if not self._initialized:
+            raise RuntimeError("call initialize() before step()")
+        cfg = self.config
+        snap = self.machine.trace.snapshot()
+        t0 = self.machine.elapsed()
+
+        if cfg.method == "adaptive":
+            self._adapt()
+
+        new_pos, max_move = position_update(
+            self.machine,
+            self.particles.pos,
+            self.vel,
+            self.acc,
+            cfg.dt,
+            box=self.system.box,
+            offset=self.system.offset,
+        )
+        self.particles.pos = new_pos
+        self._last_max_move = max_move
+
+        if self.active_method == "B+move":
+            self.fcs.set_max_particle_move(max_move)
+        report = self.fcs.run(self.particles)
+        if report.changed:
+            self._resort_application_data(report)
+
+        if cfg.dynamics == "brownian":
+            # persistent random-walk surrogate: rotate directions slightly,
+            # keep the per-step displacement fixed (acc stays zero)
+            speed = cfg.brownian_step / cfg.dt
+            self.vel = [
+                self._rotate_directions(v, speed) for v in self.vel
+            ]
+            acc_new = [np.zeros_like(a) for a in self.acc]
+            self.machine.compute(
+                np.asarray([1e-8 * v.shape[0] for v in self.vel]), phase="integrate"
+            )
+        else:
+            acc_new = accelerations(self.particles.q, self.particles.field, cfg.mass)
+            self.vel = velocity_update(self.machine, self.vel, self.acc, acc_new, cfg.dt)
+        self.acc = acc_new
+
+        self.step_index += 1
+        record = StepRecord(
+            step=self.step_index,
+            phases=self.machine.trace.delta_since(snap),
+            total_time=self.machine.elapsed() - t0,
+            max_move=max_move,
+            changed=report.changed,
+            strategy=report.strategy,
+            method=self.active_method,
+            energy=self._energy() if cfg.track_energy else None,
+        )
+        self.records.append(record)
+        return record
+
+    def run(self, steps: int) -> List[StepRecord]:
+        """Initialize (if needed) and simulate ``steps`` time steps."""
+        if not self._initialized:
+            self.initialize()
+        for _ in range(steps):
+            self.step()
+        return self.records
+
+    # -- adaptive method selection (extension beyond the paper) -----------------------
+
+    def _adapt(self) -> None:
+        """Online A-vs-B selection (an extension beyond the paper).
+
+        The controller measures each step's redistribution cost from the
+        phase trace and
+
+        * switches eagerly when the active method's cost drifts above the
+          alternative's last known cost (method A's cost grows as particles
+          drift away from the frozen application layout — Fig. 8 — while
+          method B's stays flat),
+        * re-trials the inactive method every ``adapt_every`` steps so its
+          cost estimate never goes stale,
+        * discards the first step after any switch from the bookkeeping:
+          a method switch triggers a one-off layout-refresh redistribution
+          that does not reflect the method's steady-state cost.
+
+        A useful emergent behaviour: right after a B step the application
+        holds the solver layout, making method A temporarily almost free —
+        the controller then runs A until drift makes it lose again, i.e. it
+        implements "method A with periodic layout refreshes" automatically.
+        """
+        last = self.records[-1] if self.records else None
+        if last is not None and not self._switch_transient:
+            redist = (
+                last.phase_time("sort")
+                + last.phase_time("restore")
+                + last.phase_time("resort")
+                + last.phase_time("resort_index")
+            )
+            method_of_last = self._adaptive_trial or self.active_method
+            self._method_costs[method_of_last] = redist
+        measured = not self._switch_transient
+        self._switch_transient = False
+
+        if self._adaptive_trial is not None:
+            if not measured:
+                # the trial's first step was the layout-refresh transient;
+                # keep trialing one more step to measure the steady cost
+                return
+            # the trial measurement is in: pick the winner
+            trial = self._adaptive_trial
+            self._adaptive_trial = None
+            other = "A" if trial != "A" else "B"
+            if self._method_costs.get(trial, np.inf) >= self._method_costs.get(
+                other, np.inf
+            ):
+                self._set_active(other)
+            return
+        mine = self._method_costs.get(self.active_method, np.inf)
+        other_method = "A" if self.active_method != "A" else "B"
+        theirs = self._method_costs.get(other_method, np.inf)
+        if np.isfinite(theirs) and mine > 1.5 * theirs:
+            self._set_active(other_method)
+        elif self.step_index > 0 and self.step_index % self.config.adapt_every == 0:
+            # start a trial of the other method (one measured step; switches
+            # into B get an extra unmeasured layout-refresh step first)
+            self._adaptive_trial = "A" if self.active_method != "A" else "B"
+            self._set_active(self._adaptive_trial)
+
+    _B_FAMILY = ("B", "B+move")
+
+    def _set_active(self, method: str) -> None:
+        # switching INTO method B triggers a one-off full redistribution to
+        # (re-)adopt the solver layout; that transient is not the method's
+        # steady-state cost.  Switching to A just stops resorting.
+        if method != self.active_method and method in self._B_FAMILY:
+            self._switch_transient = True
+        self.active_method = method
+        self.fcs.set_resort(method in self._B_FAMILY)
+
+    # -- brownian surrogate dynamics ---------------------------------------------------
+
+    def _random_directions(self, n: int) -> np.ndarray:
+        v = self._rng.normal(size=(n, 3))
+        norm = np.linalg.norm(v, axis=1, keepdims=True)
+        norm[norm == 0] = 1.0
+        return v / norm
+
+    def _rotate_directions(self, vel: np.ndarray, speed: float) -> np.ndarray:
+        if vel.shape[0] == 0:
+            return vel
+        jitter = 0.3 * self._rng.normal(size=vel.shape)
+        v = vel / max(speed, 1e-300) + jitter
+        norm = np.linalg.norm(v, axis=1, keepdims=True)
+        norm[norm == 0] = 1.0
+        return v / norm * speed
+
+    # -- method B plumbing ------------------------------------------------------------
+
+    def _resort_application_data(self, report) -> None:
+        """Adapt velocities, accelerations and identities to the changed
+        particle order and distribution (one ``fcs_resort_floats`` call for
+        the six float columns, one ``fcs_resort_ints`` for the ids)."""
+        packed = [
+            np.concatenate([v, a], axis=1) for v, a in zip(self.vel, self.acc)
+        ]
+        resorted = self.fcs.resort_floats(packed)
+        self.vel = [arr[:, :3].copy() for arr in resorted]
+        self.acc = [arr[:, 3:].copy() for arr in resorted]
+        self.ids = self.fcs.resort_ints(self.ids)
+
+    # -- observables -----------------------------------------------------------------
+
+    def _energy(self) -> float:
+        return kinetic_energy(self.vel, self.config.mass) + potential_energy(
+            self.particles.q, self.particles.pot
+        )
+
+    def gather_state(self) -> Dict[str, np.ndarray]:
+        """Global (id-ordered) positions, velocities, charges — an
+        out-of-band observer view for tests and examples."""
+        ids = np.concatenate(self.ids)
+        order = np.argsort(ids)
+        return {
+            "ids": ids[order],
+            "pos": np.concatenate(self.particles.pos)[order],
+            "vel": np.concatenate(self.vel)[order],
+            "q": np.concatenate(self.particles.q)[order],
+            "pot": np.concatenate(self.particles.pot)[order],
+        }

@@ -1,0 +1,56 @@
+"""Simulated distributed-memory message-passing machine.
+
+This subpackage provides the substrate on which every parallel algorithm in
+:mod:`repro` runs.  It replaces a real MPI installation (the paper ran on the
+JuRoPA InfiniBand cluster and the Juqueen Blue Gene/Q) with a deterministic
+single-host simulation:
+
+* :class:`~repro.simmpi.machine.Machine` hosts ``P`` virtual ranks.  Each rank
+  owns real NumPy arrays; communication primitives *actually move the data*
+  between per-rank arrays, so all algorithms are testable for correctness.
+* Every primitive simultaneously advances per-rank **virtual clocks** using a
+  LogGP-style cost model parameterised by a network topology
+  (:class:`~repro.simmpi.topology.FatTreeTopology` for a JuRoPA-like switched
+  cluster, :class:`~repro.simmpi.topology.TorusTopology` for a Blue Gene/Q-like
+  torus).  Benchmarks report these modeled times.
+* :class:`~repro.simmpi.tracing.Trace` records per-phase message counts,
+  byte volumes and elapsed virtual time, which is what the paper's figures
+  plot (sort / restore / resort / total runtimes).
+
+The communication API mirrors the semantics of the MPI operations used by the
+ScaFaCoS library: ``alltoallv`` (fine-grained data redistribution),
+point-to-point ``sendrecv`` rounds (merge-exchange sorting, neighborhood
+exchange), ``allgatherv`` (splitter selection), ``allreduce`` (max-movement
+determination) and so on.
+"""
+
+from repro.simmpi.costmodel import CostModel, SystemProfile, JUROPA, JUQUEEN, LOCAL
+from repro.simmpi.machine import Machine
+from repro.simmpi.topology import (
+    FatTreeTopology,
+    SwitchTopology,
+    Topology,
+    TorusTopology,
+)
+from repro.simmpi.tracing import PhaseTimer, Trace
+from repro.simmpi.cart import CartGrid, dims_create
+from repro.simmpi.spmd import SPMDContext, SPMDDeadlock, run_spmd
+
+__all__ = [
+    "CartGrid",
+    "CostModel",
+    "FatTreeTopology",
+    "JUQUEEN",
+    "JUROPA",
+    "LOCAL",
+    "Machine",
+    "PhaseTimer",
+    "SPMDContext",
+    "SPMDDeadlock",
+    "SwitchTopology",
+    "SystemProfile",
+    "Topology",
+    "TorusTopology",
+    "Trace",
+    "dims_create",
+]

@@ -1,0 +1,175 @@
+"""Cartesian process grids (MPI_Cart_create / MPI_Dims_create analogues).
+
+The P2NFFT solver distributes the particle system uniformly among a
+Cartesian grid of processes (Sect. II-C of the paper); the "process grid"
+initial particle distribution of Fig. 6 uses the same object.  A
+:class:`CartGrid` maps ranks to grid coordinates, enumerates the neighbor
+ranks used by the neighborhood communication of Sect. III-B, and computes
+target ranks from particle positions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["dims_create", "CartGrid"]
+
+
+def dims_create(nprocs: int, ndims: int = 3) -> Tuple[int, ...]:
+    """Factor ``nprocs`` into ``ndims`` near-equal factors (MPI_Dims_create).
+
+    The returned dims are sorted descending and their product is exactly
+    ``nprocs``.
+    """
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    if ndims < 1:
+        raise ValueError(f"ndims must be >= 1, got {ndims}")
+    dims = [1] * ndims
+    remaining = nprocs
+    # greedily assign prime factors largest-first to the smallest dim
+    factors: List[int] = []
+    f = 2
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for p in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= p
+    return tuple(sorted(dims, reverse=True))
+
+
+class CartGrid:
+    """A periodic Cartesian grid of ``nprocs`` ranks over a 3-D box.
+
+    Parameters
+    ----------
+    nprocs:
+        total number of ranks; factored with :func:`dims_create` unless
+        ``dims`` is given.
+    box:
+        edge lengths of the (axis-aligned) system box.
+    offset:
+        lower corner of the box.
+    periodic:
+        whether particle coordinates wrap around the box (the paper's
+        benchmark system uses periodic boundary conditions).
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        box: Sequence[float],
+        offset: Sequence[float] = (0.0, 0.0, 0.0),
+        dims: Sequence[int] | None = None,
+        periodic: bool = True,
+    ) -> None:
+        self.nprocs = int(nprocs)
+        self.box = np.asarray(box, dtype=np.float64)
+        self.offset = np.asarray(offset, dtype=np.float64)
+        if self.box.shape != (3,) or self.offset.shape != (3,):
+            raise ValueError("box and offset must be 3-vectors")
+        if np.any(self.box <= 0):
+            raise ValueError(f"box edges must be positive, got {self.box}")
+        self.dims = tuple(int(d) for d in (dims if dims is not None else dims_create(nprocs, 3)))
+        if math.prod(self.dims) != self.nprocs:
+            raise ValueError(f"dims {self.dims} do not multiply to nprocs={self.nprocs}")
+        self.periodic = bool(periodic)
+        self._strides = (self.dims[1] * self.dims[2], self.dims[2], 1)
+        #: subdomain edge lengths
+        self.cell = self.box / np.asarray(self.dims, dtype=np.float64)
+
+    # -- rank <-> coords -----------------------------------------------------
+
+    def coords_of(self, ranks: np.ndarray | int) -> np.ndarray:
+        """Grid coordinates of each rank, shape ``(..., 3)``."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        coords = np.empty(ranks.shape + (3,), dtype=np.int64)
+        for i in range(3):
+            coords[..., i] = (ranks // self._strides[i]) % self.dims[i]
+        return coords
+
+    def rank_of(self, coords: np.ndarray) -> np.ndarray:
+        """Rank of each grid coordinate triple (wrapping if periodic)."""
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.shape[-1] != 3:
+            raise ValueError(f"coords must have last dim 3, got {coords.shape}")
+        dims = np.asarray(self.dims, dtype=np.int64)
+        if self.periodic:
+            coords = coords % dims
+        else:
+            if np.any(coords < 0) or np.any(coords >= dims):
+                raise ValueError("coords out of range for non-periodic grid")
+        return (
+            coords[..., 0] * self._strides[0]
+            + coords[..., 1] * self._strides[1]
+            + coords[..., 2] * self._strides[2]
+        )
+
+    # -- geometry ------------------------------------------------------------
+
+    def cell_of_positions(self, pos: np.ndarray) -> np.ndarray:
+        """Grid cell coordinates containing each position, shape ``(n, 3)``."""
+        pos = np.asarray(pos, dtype=np.float64)
+        rel = (pos - self.offset) / self.cell
+        cells = np.floor(rel).astype(np.int64)
+        dims = np.asarray(self.dims, dtype=np.int64)
+        if self.periodic:
+            cells %= dims
+        else:
+            np.clip(cells, 0, dims - 1, out=cells)
+        return cells
+
+    def rank_of_positions(self, pos: np.ndarray) -> np.ndarray:
+        """Target rank for each particle position (the P2NFFT distribution
+        function: "the target process for each particle is calculated from
+        its position")."""
+        return self.rank_of(self.cell_of_positions(pos))
+
+    def subdomain_bounds(self, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lo, hi)`` corners of a rank's subdomain."""
+        c = self.coords_of(rank)
+        lo = self.offset + c * self.cell
+        return lo, lo + self.cell
+
+    # -- neighborhoods ---------------------------------------------------------
+
+    def neighbor_ranks(self, rank: int, include_self: bool = False) -> np.ndarray:
+        """The (up to) 26 face/edge/corner neighbor ranks of ``rank``.
+
+        For non-periodic grids, neighbors outside the grid are dropped; for
+        small dims, duplicate wrapped neighbors are deduplicated.
+        """
+        c = self.coords_of(rank)
+        out = []
+        dims = np.asarray(self.dims, dtype=np.int64)
+        for d in itertools.product((-1, 0, 1), repeat=3):
+            if d == (0, 0, 0) and not include_self:
+                continue
+            nc = c + np.asarray(d, dtype=np.int64)
+            if self.periodic:
+                nc = nc % dims
+            elif np.any(nc < 0) or np.any(nc >= dims):
+                continue
+            out.append(int(self.rank_of(nc)))
+        return np.unique(np.asarray(out, dtype=np.int64))
+
+    def neighbor_table(self, include_self: bool = False) -> List[np.ndarray]:
+        """Neighbor ranks for every rank (cached by callers as needed)."""
+        return [self.neighbor_ranks(r, include_self) for r in range(self.nprocs)]
+
+    def max_neighbor_extent(self) -> float:
+        """Smallest subdomain edge — the distance bound under which particle
+        movement stays within direct grid neighbors (Sect. III-B heuristic
+        for switching the P2NFFT to neighborhood communication)."""
+        return float(self.cell.min())
+
+    def __repr__(self) -> str:
+        return f"CartGrid(nprocs={self.nprocs}, dims={self.dims}, periodic={self.periodic})"

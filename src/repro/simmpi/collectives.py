@@ -1,0 +1,330 @@
+"""Collective communication primitives.
+
+All primitives move **real data** between per-rank NumPy arrays and charge
+modeled time to the machine clocks.  The data plane uses the following
+conventions:
+
+* a *distributed value* is a Python list of length ``nprocs`` whose ``i``-th
+  entry is rank ``i``'s local data;
+* sparse send specifications are ``list[dict[int, payload]]`` — rank ``i``
+  sends ``sends[i][j]`` to rank ``j``; absent keys mean "nothing to send"
+  and cost nothing beyond the count exchange;
+* a *payload* is an ``ndarray`` or a tuple of ``ndarray`` columns that travel
+  together in one message (structure-of-arrays particle data); its size is
+  the sum of the column ``nbytes``.
+
+The all-to-all primitives implement the cost semantics of the paper's
+fine-grained data redistribution operation [13,14]: a dense
+``MPI_Alltoall`` count exchange followed by point-to-point transfers of the
+non-empty blocks.  ``count_exchange="sparse"`` models the neighborhood
+variant (Sect. III-B) where the communication structure is known a priori
+and the dense count exchange is skipped — this is the primitive whose cost
+advantage produces the Fig. 9 (right) crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simmpi.machine import Machine
+
+__all__ = [
+    "payload_nbytes",
+    "alltoallv",
+    "neighborhood_alltoallv",
+    "allgatherv",
+    "allgather_scalars",
+    "allreduce",
+    "bcast",
+    "gatherv",
+    "scatterv",
+]
+
+Payload = object  # ndarray or tuple/list of ndarrays
+
+
+def payload_nbytes(payload: Payload) -> int:
+    """Total byte size of a payload (array or tuple of arrays)."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (tuple, list)):
+        return sum(p.nbytes for p in payload)
+    raise TypeError(f"unsupported payload type {type(payload)!r}")
+
+
+def _charge_alltoall(
+    machine: Machine,
+    sends: Sequence[Dict[int, Payload]],
+    phase: Optional[str],
+    count_exchange: str,
+) -> None:
+    """Clock/trace accounting shared by the all-to-all variants."""
+    P = machine.nprocs
+    model = machine.model
+    topo = machine.topology
+
+    # collect all (src, dst, size) message triples, then vectorize the
+    # accounting (topology hop lookups batched into one call)
+    src_list = []
+    dst_list = []
+    size_list = []
+    for src, targets in enumerate(sends):
+        for dst, payload in targets.items():
+            if dst != src:
+                src_list.append(src)
+                dst_list.append(dst)
+                size_list.append(payload_nbytes(payload))
+    n_messages = len(src_list)
+    srcs = np.asarray(src_list, dtype=np.int64)
+    dsts = np.asarray(dst_list, dtype=np.int64)
+    sizes = np.asarray(size_list, dtype=np.float64)
+
+    n_targets = np.bincount(srcs, minlength=P).astype(np.int64)
+    send_bytes = np.bincount(srcs, weights=sizes, minlength=P)
+    recv_bytes = np.bincount(dsts, weights=sizes, minlength=P)
+    if n_messages:
+        hops = machine.topology.hops(srcs, dsts)
+        inter = hops > 0
+        total_internode = float(sizes[inter].sum())
+        hop_weight = float(sizes.sum())
+        avg_hops = (
+            float((hops * sizes).sum()) / hop_weight
+            if hop_weight > 0
+            else float(topo.diameter()) / 2.0
+        )
+    else:
+        total_internode = 0.0
+        avg_hops = float(topo.diameter()) / 2.0
+
+    machine.synchronize()
+    per_rank = model.alltoall_rank_time(n_targets, send_bytes, recv_bytes, avg_hops)
+    per_rank = per_rank + model.copy_time(send_bytes + recv_bytes)
+    if count_exchange == "dense":
+        # MPI_Alltoall of one count integer (8 bytes) per peer, modeled as
+        # Bruck's algorithm (what MPI implementations use for tiny items)
+        per_rank = per_rank + model.bruck_alltoall_time(P, 8.0, topo.diameter())
+    elif count_exchange != "sparse":
+        raise ValueError(f"count_exchange must be 'dense' or 'sparse', got {count_exchange!r}")
+    bis = model.bisection_time(total_internode, topo.bisection_links())
+    per_rank = np.maximum(per_rank, bis)
+    machine.advance(
+        per_rank,
+        phase,
+        messages=n_messages,
+        nbytes=int(send_bytes.sum()),
+    )
+
+
+def _deliver(sends: Sequence[Dict[int, Payload]], nprocs: int) -> List[List[Tuple[int, Payload]]]:
+    """Move payloads: ``recv[j]`` is a source-ordered list of ``(src, payload)``."""
+    recv: List[List[Tuple[int, Payload]]] = [[] for _ in range(nprocs)]
+    for src, targets in enumerate(sends):
+        for dst, payload in targets.items():
+            if not 0 <= dst < nprocs:
+                raise ValueError(f"rank {src} sends to invalid rank {dst}")
+            recv[dst].append((src, payload))
+    for lst in recv:
+        lst.sort(key=lambda item: item[0])
+    return recv
+
+
+def alltoallv(
+    machine: Machine,
+    sends: Sequence[Dict[int, Payload]],
+    phase: Optional[str] = None,
+    *,
+    count_exchange: str = "dense",
+) -> List[List[Tuple[int, Payload]]]:
+    """Sparse all-to-all exchange (the fine-grained redistribution transport).
+
+    Parameters
+    ----------
+    sends:
+        ``sends[i][j]`` is the payload rank ``i`` sends to rank ``j``.
+        Self-sends are delivered for free (local move, charged as a copy).
+    count_exchange:
+        ``"dense"`` (default) charges the ``MPI_Alltoall`` count exchange
+        that a general redistribution needs; ``"sparse"`` skips it (known
+        communication structure).
+
+    Returns
+    -------
+    ``recv`` with ``recv[j]`` a list of ``(source_rank, payload)`` sorted by
+    source rank, matching MPI's per-source receive-block semantics.
+    """
+    if len(sends) != machine.nprocs:
+        raise ValueError(f"sends has {len(sends)} entries, machine has {machine.nprocs} ranks")
+    _charge_alltoall(machine, sends, phase, count_exchange)
+    return _deliver(sends, machine.nprocs)
+
+
+def neighborhood_alltoallv(
+    machine: Machine,
+    sends: Sequence[Dict[int, Payload]],
+    phase: Optional[str] = None,
+) -> List[List[Tuple[int, Payload]]]:
+    """Neighborhood exchange: all-to-all restricted to known peers.
+
+    Identical data plane to :func:`alltoallv` but modeled as pre-posted
+    non-blocking point-to-point communication without the dense count
+    exchange (Sect. III-B of the paper).  Callers are responsible for only
+    sending to actual neighbors; the cost advantage over :func:`alltoallv`
+    is the per-peer (instead of per-rank) message overhead.
+    """
+    return alltoallv(machine, sends, phase, count_exchange="sparse")
+
+
+def allgatherv(
+    machine: Machine,
+    contributions: Sequence[np.ndarray],
+    phase: Optional[str] = None,
+) -> List[np.ndarray]:
+    """Every rank receives the concatenation of all contributions.
+
+    Modeled as a ring/bruck allgather: each rank ultimately receives the
+    full concatenated volume; latency is logarithmic.
+    """
+    P = machine.nprocs
+    if len(contributions) != P:
+        raise ValueError(f"{len(contributions)} contributions for {P} ranks")
+    arrays = [np.ascontiguousarray(a) for a in contributions]
+    total_bytes = float(sum(a.nbytes for a in arrays))
+    machine.synchronize()
+    t = machine.model.tree_collective_time(P, 0.0, machine.topology.diameter())
+    t += (P - 1) / max(P, 1) * total_bytes / machine.model.bandwidth if P > 1 else 0.0
+    t += float(machine.model.copy_time(total_bytes))
+    machine.advance(t, phase, messages=max(0, P - 1) * 1, nbytes=int(total_bytes) * max(0, P - 1))
+    gathered = np.concatenate(arrays) if arrays else np.empty(0)
+    return [gathered.copy() for _ in range(P)] if P > 1 else [gathered]
+
+
+def allgather_scalars(
+    machine: Machine,
+    values: Sequence[float] | np.ndarray,
+    phase: Optional[str] = None,
+) -> np.ndarray:
+    """Allgather of one scalar per rank; returns the shared vector."""
+    P = machine.nprocs
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.shape != (P,):
+        raise ValueError(f"expected shape ({P},), got {vals.shape}")
+    machine.synchronize()
+    t = machine.model.tree_collective_time(P, 8.0 * P, machine.topology.diameter())
+    machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=8 * P * max(0, P - 1))
+    return vals.copy()
+
+
+def allreduce(
+    machine: Machine,
+    values: Sequence | np.ndarray,
+    op: str = "sum",
+    phase: Optional[str] = None,
+) -> np.ndarray | float:
+    """Reduce per-rank values with ``op`` in {'sum','max','min'}; all ranks get the result.
+
+    ``values`` is a length-``nprocs`` sequence of scalars or equal-shape
+    arrays (one per rank).
+    """
+    P = machine.nprocs
+    if len(values) != P:
+        raise ValueError(f"{len(values)} values for {P} ranks")
+    stacked = np.asarray([np.asarray(v, dtype=np.float64) for v in values])
+    if op == "sum":
+        result = stacked.sum(axis=0)
+    elif op == "max":
+        result = stacked.max(axis=0)
+    elif op == "min":
+        result = stacked.min(axis=0)
+    else:
+        raise ValueError(f"unsupported op {op!r}")
+    item_bytes = float(np.asarray(values[0], dtype=np.float64).nbytes)
+    machine.synchronize()
+    t = machine.model.tree_collective_time(P, item_bytes, machine.topology.diameter())
+    machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=int(item_bytes) * 2 * max(0, P - 1))
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def bcast(
+    machine: Machine,
+    value: np.ndarray | float,
+    root: int = 0,
+    phase: Optional[str] = None,
+) -> List:
+    """Broadcast ``value`` from ``root``; returns per-rank copies."""
+    machine.check_rank(root)
+    P = machine.nprocs
+    arr = np.asarray(value)
+    machine.synchronize()
+    t = machine.model.tree_collective_time(P, float(arr.nbytes), machine.topology.diameter())
+    machine.advance(t, phase, messages=max(0, P - 1), nbytes=arr.nbytes * max(0, P - 1))
+    return [np.array(arr, copy=True) if arr.ndim else value for _ in range(P)]
+
+
+def gatherv(
+    machine: Machine,
+    contributions: Sequence[np.ndarray],
+    root: int = 0,
+    phase: Optional[str] = None,
+) -> List[np.ndarray]:
+    """Gather variable-size arrays at ``root`` (others receive empty arrays)."""
+    machine.check_rank(root)
+    P = machine.nprocs
+    if len(contributions) != P:
+        raise ValueError(f"{len(contributions)} contributions for {P} ranks")
+    arrays = [np.ascontiguousarray(a) for a in contributions]
+    total_bytes = float(sum(a.nbytes for i, a in enumerate(arrays) if i != root))
+    machine.synchronize()
+    # root serializes P-1 receives; senders each pay one message
+    model = machine.model
+    per_rank = np.zeros(P)
+    hops = machine.topology.hops(np.full(P, root), np.arange(P))
+    for i, a in enumerate(arrays):
+        if i == root:
+            continue
+        per_rank[i] += float(model.msg_time(hops[i], a.nbytes))
+    per_rank[root] += model.overhead * (P - 1) + total_bytes / model.bandwidth
+    per_rank[root] += float(model.copy_time(total_bytes))
+    machine.advance(per_rank, phase, messages=max(0, P - 1), nbytes=int(total_bytes))
+    result = [np.empty((0,) + arrays[0].shape[1:], dtype=arrays[0].dtype) for _ in range(P)]
+    result[root] = np.concatenate(arrays) if arrays else np.empty(0)
+    return result
+
+
+def scatterv(
+    machine: Machine,
+    parts: Sequence[np.ndarray],
+    root: int = 0,
+    phase: Optional[str] = None,
+) -> List[np.ndarray]:
+    """Scatter ``parts[i]`` (held at ``root``) to each rank ``i``.
+
+    The root serializes all sends — this is the communication bottleneck the
+    paper demonstrates with the "single process" initial distribution
+    (Fig. 6).
+    """
+    machine.check_rank(root)
+    P = machine.nprocs
+    if len(parts) != P:
+        raise ValueError(f"{len(parts)} parts for {P} ranks")
+    arrays = [np.ascontiguousarray(a) for a in parts]
+    total_bytes = float(sum(a.nbytes for i, a in enumerate(arrays) if i != root))
+    machine.synchronize()
+    model = machine.model
+    per_rank = np.zeros(P)
+    hops = machine.topology.hops(np.full(P, root), np.arange(P))
+    per_rank[root] += model.overhead * (P - 1) + total_bytes / model.bandwidth
+    per_rank[root] += float(model.copy_time(total_bytes))
+    for i, a in enumerate(arrays):
+        if i == root:
+            continue
+        per_rank[i] += float(model.msg_time(hops[i], a.nbytes))
+        # receivers cannot finish before the root has pushed everything out
+        per_rank[i] = max(per_rank[i], per_rank[root])
+    machine.advance(per_rank, phase, messages=max(0, P - 1), nbytes=int(total_bytes))
+    return [a.copy() for a in arrays]

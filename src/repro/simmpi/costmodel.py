@@ -1,0 +1,255 @@
+"""LogGP-style communication and compute cost model.
+
+The model charges, per point-to-point message of ``b`` payload bytes between
+ranks ``i`` and ``j``:
+
+``T(i, j, b) = o + L0 + L_hop * hops(i, j) + b / beta``
+
+where ``o`` is the CPU send+receive overhead, ``L0`` the base wire/switch
+latency, ``L_hop`` the per-hop latency and ``beta`` the per-link bandwidth.
+Intra-node messages (hop count 0) use the (much higher) ``beta_node``
+bandwidth and skip ``L0``.
+
+Collectives are modeled by the algorithms MPI implementations actually use:
+
+* **alltoallv** — every rank posts one message per non-empty destination
+  (irecv/isend, as in the fine-grained data redistribution operation of the
+  paper [13]); the per-rank time is the serialized per-message overhead plus
+  the max of its in/out volume over bandwidth; on top of that the aggregate
+  volume crossing the network bisection adds a contention term.  On a
+  fat tree the bisection is full so the contention term is negligible; on a
+  torus it grows like ``P^{1/d}`` per byte, which is what makes large-scale
+  all-to-all expensive on Juqueen.
+* **tree collectives** (allreduce/bcast/(all)gather of small payloads) —
+  ``ceil(log2 P)`` rounds of one message each.
+
+Compute phases use a per-rank rate model: a phase reporting ``w`` abstract
+work units (e.g. particle pairs, expansion-coefficient multiplies) advances
+the rank clock by ``w * seconds_per_unit / compute_rate``.
+
+The numeric constants are order-of-magnitude realistic for the paper's 2013
+platforms but are **shape parameters**, not claims about absolute runtimes;
+see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.simmpi.topology import (
+    FatTreeTopology,
+    SwitchTopology,
+    Topology,
+    TorusTopology,
+)
+
+__all__ = [
+    "CostModel",
+    "SystemProfile",
+    "JUROPA",
+    "JUQUEEN",
+    "LOCAL",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Communication/compute cost constants (seconds, bytes/second).
+
+    Attributes
+    ----------
+    overhead:
+        per-message CPU overhead ``o`` (posting + matching + completion).
+    latency:
+        base network latency ``L0`` for any inter-node message.
+    hop_latency:
+        additional latency per network hop.
+    bandwidth:
+        per-link inter-node bandwidth (bytes/second).
+    node_bandwidth:
+        intra-node (shared-memory) bandwidth.
+    copy_bandwidth:
+        local pack/unpack (memcpy) bandwidth; charged when primitives pack
+        scattered elements into send buffers.
+    compute_rate:
+        relative CPU speed; 1.0 is a JuRoPA-class Xeon core.  Compute phase
+        times are divided by this.
+    """
+
+    overhead: float = 1.0e-6
+    latency: float = 1.5e-6
+    hop_latency: float = 5.0e-8
+    bandwidth: float = 2.5e9
+    node_bandwidth: float = 8.0e9
+    copy_bandwidth: float = 4.0e9
+    compute_rate: float = 1.0
+    #: incast-contention growth of the effective per-message overhead in
+    #: irregular all-to-all exchanges: with ``k`` communicating peers the
+    #: per-message cost becomes ``o * (1 + congestion * k / 64)``.  Measured
+    #: irregular alltoallv times at scale are 10-100x above the LogGP ideal
+    #: because of unexpected-message queues, rendezvous round trips and
+    #: endpoint contention; this term reproduces that regime and is what
+    #: separates full all-to-alls from neighborhood exchanges.
+    congestion: float = 4.0
+
+    # -- point-to-point ------------------------------------------------------
+
+    def msg_time(self, hops: np.ndarray | int, nbytes: np.ndarray | int) -> np.ndarray:
+        """Time for point-to-point messages (vectorized over pairs)."""
+        hops = np.asarray(hops, dtype=np.float64)
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        internode = hops > 0
+        wire = np.where(
+            internode,
+            self.latency + self.hop_latency * hops + nbytes / self.bandwidth,
+            nbytes / self.node_bandwidth,
+        )
+        return self.overhead + wire
+
+    # -- collectives ---------------------------------------------------------
+
+    def alltoall_rank_time(
+        self,
+        n_targets: np.ndarray,
+        send_bytes: np.ndarray,
+        recv_bytes: np.ndarray,
+        avg_hops: float,
+    ) -> np.ndarray:
+        """Per-rank completion time of a (sparse) alltoallv.
+
+        ``n_targets`` counts non-empty destinations per rank; empty
+        destinations cost nothing (the fine-grained redistribution operation
+        exchanges counts first and only posts needed messages).
+        """
+        n_targets = np.asarray(n_targets, dtype=np.float64)
+        send_bytes = np.asarray(send_bytes, dtype=np.float64)
+        recv_bytes = np.asarray(recv_bytes, dtype=np.float64)
+        volume = np.maximum(send_bytes, recv_bytes)
+        # serialized message posting with incast contention: the effective
+        # per-message cost grows with the peer fan-out
+        o_eff = self.overhead * (1.0 + self.congestion * n_targets / 64.0)
+        start = o_eff * n_targets
+        wire = np.where(
+            n_targets > 0,
+            self.latency + self.hop_latency * avg_hops + volume / self.bandwidth,
+            0.0,
+        )
+        return start + wire
+
+    def bruck_alltoall_time(self, nprocs: int, item_bytes: float, diameter: int) -> float:
+        """Dense all-to-all of one small item per peer (Bruck's algorithm).
+
+        ``log2(P)`` rounds; each round moves half of the accumulated items,
+        so the total volume per rank is ``P * item_bytes * log2(P) / 2``.
+        This is the cost of the count exchange preceding a general
+        fine-grained redistribution — the term that grows with the process
+        count and makes method B's extra communication step expensive at
+        scale (Fig. 9 right).
+        """
+        if nprocs <= 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(nprocs)))
+        per_round_bytes = nprocs * item_bytes / 2.0
+        per_round = (
+            self.overhead
+            + self.latency
+            + self.hop_latency * (diameter / 2.0)
+            + per_round_bytes / self.bandwidth
+        )
+        return rounds * per_round
+
+    def bisection_time(self, total_bytes: float, bisection_links: int) -> float:
+        """Contention term: half the aggregate volume crosses the bisection."""
+        return 0.5 * float(total_bytes) / (bisection_links * self.bandwidth)
+
+    def tree_collective_time(self, nprocs: int, nbytes: float, diameter: int) -> float:
+        """Binomial-tree collective of a small payload (allreduce, bcast)."""
+        if nprocs <= 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(nprocs)))
+        per_round = self.overhead + self.latency + self.hop_latency * (diameter / 2.0) + nbytes / self.bandwidth
+        return rounds * per_round
+
+    # -- local work -----------------------------------------------------------
+
+    def copy_time(self, nbytes: np.ndarray | float) -> np.ndarray:
+        """Local pack/unpack time for moving ``nbytes`` through memory."""
+        return np.asarray(nbytes, dtype=np.float64) / self.copy_bandwidth
+
+    def compute_time(self, seconds: np.ndarray | float) -> np.ndarray:
+        """Scale nominal (JuRoPA-core) compute seconds by the CPU rate."""
+        return np.asarray(seconds, dtype=np.float64) / self.compute_rate
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemProfile:
+    """A named machine: topology constructor plus cost constants.
+
+    ``topology(nprocs)`` builds the topology instance for a given process
+    count; profiles are immutable and shareable between experiments.
+    """
+
+    name: str
+    topology_factory: Callable[[int], Topology]
+    cost_model: CostModel
+
+    def topology(self, nprocs: int) -> Topology:
+        return self.topology_factory(nprocs)
+
+
+def _juropa_topology(nprocs: int) -> Topology:
+    # JuRoPA: 8 MPI processes per node, QDR InfiniBand fat tree.
+    return FatTreeTopology(nprocs, node_size=8, radix=24)
+
+
+def _juqueen_topology(nprocs: int) -> Topology:
+    # Juqueen: 16 MPI processes per node, 5-D torus.  We model a 3-D torus
+    # over nodes: the redistribution experiments only need "hops grow with
+    # grid distance, bisection grows sublinearly", which any d>=2 torus has.
+    return TorusTopology(nprocs, node_size=16)
+
+
+#: JuRoPA-like profile: Intel Xeon 2.93 GHz, InfiniBand fat tree.
+JUROPA = SystemProfile(
+    name="juropa",
+    topology_factory=_juropa_topology,
+    cost_model=CostModel(
+        overhead=3.0e-6,
+        latency=1.6e-6,
+        hop_latency=4.0e-8,
+        bandwidth=2.6e9,
+        node_bandwidth=8.0e9,
+        copy_bandwidth=2.0e9,
+        compute_rate=1.0,
+    ),
+)
+
+#: Juqueen-like profile: PowerPC A2 1.6 GHz (slower cores), 5-D torus
+#: (lower per-link bandwidth, per-hop latency, limited bisection).  Blue
+#: Gene/Q messaging is hardware-assisted (torus DMA, collective network):
+#: low per-message overhead and little incast degradation — large-scale
+#: cost is dominated by the dense count exchanges and bisection limits.
+JUQUEEN = SystemProfile(
+    name="juqueen",
+    topology_factory=_juqueen_topology,
+    cost_model=CostModel(
+        overhead=1.5e-6,
+        latency=1.2e-6,
+        hop_latency=6.0e-8,
+        bandwidth=1.8e9,
+        node_bandwidth=6.0e9,
+        copy_bandwidth=1.5e9,
+        compute_rate=0.30,
+        congestion=0.5,
+    ),
+)
+
+#: Degenerate single-switch profile for unit tests (fast, uniform).
+LOCAL = SystemProfile(
+    name="local",
+    topology_factory=lambda nprocs: SwitchTopology(nprocs, node_size=1),
+    cost_model=CostModel(),
+)

@@ -1,0 +1,157 @@
+"""The simulated distributed-memory machine.
+
+A :class:`Machine` hosts ``nprocs`` virtual ranks.  It owns
+
+* per-rank **virtual clocks** (``numpy`` array of seconds),
+* a :class:`~repro.simmpi.tracing.Trace` of per-phase costs,
+* the :class:`~repro.simmpi.topology.Topology` and
+  :class:`~repro.simmpi.costmodel.CostModel` used to price communication.
+
+Algorithms never advance clocks directly; they call the communication
+primitives in :mod:`repro.simmpi.collectives` / :mod:`repro.simmpi.p2p` (which
+move real data *and* charge modeled time) and :meth:`Machine.compute` /
+:meth:`Machine.copy` for local work.
+
+Clock semantics
+---------------
+Clocks are per-rank and monotone.  A collective first synchronizes its
+participants to the latest participant clock (collectives cannot complete
+before the last rank arrives), then adds per-rank completion times.  A
+point-to-point exchange advances only the involved ranks, letting load
+imbalance (e.g. the "all particles on a single process" initial distribution
+of Fig. 6) show up as one rank racing ahead of the others.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.simmpi.costmodel import CostModel, SystemProfile
+from repro.simmpi.topology import SwitchTopology, Topology
+from repro.simmpi.tracing import Trace
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """``nprocs`` virtual ranks with clocks, trace, topology and cost model."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        *,
+        topology: Optional[Topology] = None,
+        cost_model: Optional[CostModel] = None,
+        profile: Optional[SystemProfile] = None,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        if profile is not None:
+            if topology is not None or cost_model is not None:
+                raise ValueError("pass either profile or topology/cost_model, not both")
+            topology = profile.topology(nprocs)
+            cost_model = profile.cost_model
+            self.profile_name = profile.name
+        else:
+            self.profile_name = "custom"
+        self.nprocs = int(nprocs)
+        self.topology = topology if topology is not None else SwitchTopology(nprocs)
+        if self.topology.nprocs != self.nprocs:
+            raise ValueError(
+                f"topology built for {self.topology.nprocs} ranks, machine has {self.nprocs}"
+            )
+        self.model = cost_model if cost_model is not None else CostModel()
+        self.clocks = np.zeros(self.nprocs, dtype=np.float64)
+        self.trace = Trace()
+
+    # -- clock access ---------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Virtual time elapsed so far: the latest rank clock."""
+        return float(self.clocks.max())
+
+    def reset_clocks(self) -> None:
+        self.clocks[:] = 0.0
+        self.trace.clear()
+
+    def synchronize(self, ranks: Optional[Sequence[int]] = None) -> float:
+        """Align clocks of ``ranks`` (default: all) to their maximum.
+
+        Returns the synchronized time.  Collectives call this first — no
+        participant can finish a collective before the last one enters it.
+        """
+        if ranks is None:
+            t = float(self.clocks.max())
+            self.clocks[:] = t
+        else:
+            idx = np.asarray(ranks, dtype=np.int64)
+            t = float(self.clocks[idx].max())
+            self.clocks[idx] = t
+        return t
+
+    # -- charging -------------------------------------------------------------
+
+    def advance(
+        self,
+        per_rank_seconds: np.ndarray | float,
+        phase: Optional[str] = None,
+        *,
+        messages: int = 0,
+        nbytes: int = 0,
+    ) -> None:
+        """Advance rank clocks by ``per_rank_seconds`` and record the phase.
+
+        The trace time is the *critical-path* contribution: the increase of
+        the maximum clock caused by this advance.
+        """
+        before = self.clocks.max()
+        self.clocks += per_rank_seconds
+        after = self.clocks.max()
+        self.trace.record(phase, time=float(after - before), messages=messages, nbytes=nbytes)
+
+    def compute(
+        self,
+        nominal_seconds: np.ndarray | float,
+        phase: Optional[str] = None,
+    ) -> None:
+        """Charge a compute phase of per-rank nominal (JuRoPA-core) seconds."""
+        self.advance(self.model.compute_time(nominal_seconds), phase)
+
+    def copy(self, per_rank_bytes: np.ndarray | float, phase: Optional[str] = None) -> None:
+        """Charge local pack/unpack (memcpy) work."""
+        self.advance(self.model.copy_time(per_rank_bytes), phase)
+
+    def barrier(self, phase: Optional[str] = None) -> None:
+        """Tree barrier across all ranks."""
+        self.synchronize()
+        t = self.model.tree_collective_time(self.nprocs, 8.0, self.topology.diameter())
+        self.advance(t, phase, messages=2 * max(0, self.nprocs - 1), nbytes=0)
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def imbalance(self) -> float:
+        """Load imbalance of the virtual clocks: ``max/mean - 1``.
+
+        0 means perfectly balanced ranks; the "all particles on a single
+        process" distribution of Fig. 6 drives this toward ``nprocs - 1``.
+        """
+        mean = float(self.clocks.mean())
+        if mean == 0.0:
+            return 0.0
+        return float(self.clocks.max()) / mean - 1.0
+
+    # -- misc -----------------------------------------------------------------
+
+    def check_rank(self, rank: int) -> int:
+        r = int(rank)
+        if not 0 <= r < self.nprocs:
+            raise ValueError(f"rank {rank} out of range [0, {self.nprocs})")
+        return r
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine(nprocs={self.nprocs}, topology={self.topology.name}, "
+            f"profile={self.profile_name}, elapsed={self.elapsed():.3e}s)"
+        )

@@ -1,0 +1,152 @@
+"""Point-to-point communication primitives.
+
+These are the transport of the merge-based parallel sorting method [15]
+(pairwise merge-exchange steps of Batcher's network) and of generic
+send/receive rounds.  Unlike the collectives, point-to-point operations only
+advance the clocks of the ranks involved, so load imbalance and pipelining
+across rounds are modeled faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simmpi.collectives import Payload, payload_nbytes
+from repro.simmpi.machine import Machine
+
+__all__ = ["send_round", "exchange_pairs", "sendrecv"]
+
+
+def sendrecv(
+    machine: Machine,
+    src: int,
+    dst: int,
+    payload: Payload,
+    phase: Optional[str] = None,
+) -> Payload:
+    """Single message from ``src`` to ``dst``; returns the payload.
+
+    The receiver clock becomes ``max(receiver, sender + message time)`` —
+    a receive cannot complete before the matching send arrives.
+    """
+    src = machine.check_rank(src)
+    dst = machine.check_rank(dst)
+    nbytes = payload_nbytes(payload)
+    if src == dst:
+        machine.copy(nbytes, phase)
+        return payload
+    model = machine.model
+    hops = int(machine.topology.hops(src, dst))
+    before = machine.clocks.max()
+    send_done = machine.clocks[src] + model.overhead + float(model.copy_time(nbytes))
+    arrival = send_done + float(model.msg_time(hops, nbytes)) - model.overhead
+    machine.clocks[src] = send_done
+    machine.clocks[dst] = max(machine.clocks[dst] + model.overhead, arrival) + float(
+        model.copy_time(nbytes)
+    )
+    machine.trace.record(
+        phase, time=float(machine.clocks.max() - before), messages=1, nbytes=nbytes
+    )
+    return payload
+
+
+def send_round(
+    machine: Machine,
+    transfers: Sequence[Tuple[int, int, Payload]],
+    phase: Optional[str] = None,
+) -> List[List[Tuple[int, Payload]]]:
+    """A round of independent messages ``(src, dst, payload)``.
+
+    Messages from the same source are serialized (one NIC per rank);
+    messages to the same destination are serialized on receive.  Returns
+    ``recv[j]`` as source-sorted ``(src, payload)`` pairs.
+    """
+    model = machine.model
+    recv: List[List[Tuple[int, Payload]]] = [[] for _ in range(machine.nprocs)]
+    before = machine.clocks.max()
+    n_messages = 0
+    total_bytes = 0
+    # sends post first (non-blocking), receives complete afterwards
+    arrivals: List[Tuple[int, float, Payload, int]] = []
+    for src, dst, payload in transfers:
+        src = machine.check_rank(src)
+        dst = machine.check_rank(dst)
+        nbytes = payload_nbytes(payload)
+        if src == dst:
+            machine.clocks[src] += float(model.copy_time(nbytes))
+            recv[dst].append((src, payload))
+            continue
+        hops = int(machine.topology.hops(src, dst))
+        send_done = machine.clocks[src] + model.overhead + float(model.copy_time(nbytes))
+        arrival = send_done + float(model.msg_time(hops, nbytes)) - model.overhead
+        machine.clocks[src] = send_done
+        arrivals.append((dst, arrival, payload, src))
+        n_messages += 1
+        total_bytes += nbytes
+    for dst, arrival, payload, src in arrivals:
+        nbytes = payload_nbytes(payload)
+        machine.clocks[dst] = max(machine.clocks[dst] + model.overhead, arrival) + float(
+            model.copy_time(nbytes)
+        )
+        recv[dst].append((src, payload))
+    for lst in recv:
+        lst.sort(key=lambda item: item[0])
+    machine.trace.record(
+        phase,
+        time=float(machine.clocks.max() - before),
+        messages=n_messages,
+        nbytes=total_bytes,
+    )
+    return recv
+
+
+def exchange_pairs(
+    machine: Machine,
+    exchanges: Sequence[Tuple[int, int, Payload, Payload]],
+    phase: Optional[str] = None,
+) -> Dict[Tuple[int, int], Tuple[Payload, Payload]]:
+    """Simultaneous pairwise exchanges ``(a, b, payload_a_to_b, payload_b_to_a)``.
+
+    Both directions overlap (MPI_Sendrecv): each side pays its send overhead
+    plus the arrival of the other side's message.  Each rank may appear in at
+    most one pair per call (a comparator round of a sorting network).
+
+    Returns a dict mapping ``(a, b)`` to ``(received_at_a, received_at_b)``
+    i.e. ``(payload_b_to_a, payload_a_to_b)``.
+    """
+    model = machine.model
+    seen: set = set()
+    before = machine.clocks.max()
+    out: Dict[Tuple[int, int], Tuple[Payload, Payload]] = {}
+    n_messages = 0
+    total_bytes = 0
+    for a, b, pa, pb in exchanges:
+        a = machine.check_rank(a)
+        b = machine.check_rank(b)
+        if a == b:
+            raise ValueError(f"pair ({a}, {b}) exchanges with itself")
+        for r in (a, b):
+            if r in seen:
+                raise ValueError(f"rank {r} appears in more than one exchange")
+            seen.add(r)
+        bytes_ab = payload_nbytes(pa)
+        bytes_ba = payload_nbytes(pb)
+        hops = int(machine.topology.hops(a, b))
+        post_a = machine.clocks[a] + model.overhead + float(model.copy_time(bytes_ab))
+        post_b = machine.clocks[b] + model.overhead + float(model.copy_time(bytes_ba))
+        arrive_at_b = post_a + float(model.msg_time(hops, bytes_ab)) - model.overhead
+        arrive_at_a = post_b + float(model.msg_time(hops, bytes_ba)) - model.overhead
+        machine.clocks[a] = max(post_a, arrive_at_a) + float(model.copy_time(bytes_ba))
+        machine.clocks[b] = max(post_b, arrive_at_b) + float(model.copy_time(bytes_ab))
+        out[(a, b)] = (pb, pa)
+        n_messages += 2
+        total_bytes += bytes_ab + bytes_ba
+    machine.trace.record(
+        phase,
+        time=float(machine.clocks.max() - before),
+        messages=n_messages,
+        nbytes=total_bytes,
+    )
+    return out

@@ -1,0 +1,165 @@
+"""Per-phase accounting of virtual time, message counts and byte volumes.
+
+The paper's figures decompose solver runtimes into phases (``sort``,
+``restore``, ``resort``, ``total``); :class:`Trace` is the single place where
+those decompositions come from.  Every communication primitive and every
+modeled compute phase reports into the trace under a *phase label*, and the
+benchmark harness reads per-phase aggregates back out.
+
+Phase labels are free-form strings.  By convention the redistribution phases
+used throughout the repo are:
+
+``sort``
+    placing particles into the solver's domain decomposition (parallel
+    sorting for the FMM, grid redistribution for the P2NFFT),
+``restore``
+    method A's restoration of the original particle order and distribution,
+``resort``
+    method B's redistribution of additional application data via resort
+    indices (including the resort-index creation),
+``near``/``far``/``mesh``/...
+    solver compute phases,
+``integrate``
+    the application's leapfrog update.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, Optional
+
+__all__ = ["PhaseStats", "PhaseTimer", "Trace"]
+
+
+@dataclasses.dataclass
+class PhaseStats:
+    """Aggregated statistics for one phase label.
+
+    Attributes
+    ----------
+    time:
+        Total virtual seconds attributed to the phase.  For communication
+        this is the *maximum over ranks* of the clock advance per call,
+        summed over calls (i.e. the critical-path view a timer around the
+        call would report on a real machine).
+    messages:
+        Number of point-to-point messages sent (collectives count their
+        constituent messages according to the modeled algorithm).
+    bytes:
+        Payload bytes sent.
+    calls:
+        Number of primitive invocations attributed to the phase.
+    """
+
+    time: float = 0.0
+    messages: int = 0
+    bytes: int = 0
+    calls: int = 0
+
+    def add(self, time: float = 0.0, messages: int = 0, nbytes: int = 0, calls: int = 1) -> None:
+        self.time += time
+        self.messages += messages
+        self.bytes += nbytes
+        self.calls += calls
+
+    def merged(self, other: "PhaseStats") -> "PhaseStats":
+        return PhaseStats(
+            time=self.time + other.time,
+            messages=self.messages + other.messages,
+            bytes=self.bytes + other.bytes,
+            calls=self.calls + other.calls,
+        )
+
+
+class Trace:
+    """Mutable per-phase statistics store attached to a :class:`Machine`."""
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, PhaseStats] = {}
+
+    def record(
+        self,
+        phase: Optional[str],
+        *,
+        time: float = 0.0,
+        messages: int = 0,
+        nbytes: int = 0,
+        calls: int = 1,
+    ) -> None:
+        """Attribute ``time``/``messages``/``nbytes`` to ``phase``.
+
+        ``phase=None`` records under the catch-all label ``"other"`` so no
+        cost is ever silently dropped.
+        """
+        label = phase if phase is not None else "other"
+        stats = self._phases.get(label)
+        if stats is None:
+            stats = self._phases[label] = PhaseStats()
+        stats.add(time=time, messages=messages, nbytes=nbytes, calls=calls)
+
+    def get(self, phase: str) -> PhaseStats:
+        """Return the stats for ``phase`` (zeros if never recorded)."""
+        return self._phases.get(phase, PhaseStats())
+
+    def phases(self) -> Iterator[str]:
+        return iter(sorted(self._phases))
+
+    def total_time(self) -> float:
+        return sum(s.time for s in self._phases.values())
+
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self._phases.values())
+
+    def total_bytes(self) -> int:
+        return sum(s.bytes for s in self._phases.values())
+
+    def snapshot(self) -> Dict[str, PhaseStats]:
+        """Deep copy of the current per-phase stats (for delta computation)."""
+        return {k: dataclasses.replace(v) for k, v in self._phases.items()}
+
+    def delta_since(self, snapshot: Dict[str, PhaseStats]) -> Dict[str, PhaseStats]:
+        """Per-phase difference between now and an earlier :meth:`snapshot`."""
+        out: Dict[str, PhaseStats] = {}
+        for label, stats in self._phases.items():
+            before = snapshot.get(label, PhaseStats())
+            d = PhaseStats(
+                time=stats.time - before.time,
+                messages=stats.messages - before.messages,
+                bytes=stats.bytes - before.bytes,
+                calls=stats.calls - before.calls,
+            )
+            if d.time or d.messages or d.bytes or d.calls:
+                out[label] = d
+        return out
+
+    def clear(self) -> None:
+        self._phases.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = ", ".join(
+            f"{k}: {v.time:.3e}s/{v.messages}msg/{v.bytes}B" for k, v in sorted(self._phases.items())
+        )
+        return f"Trace({rows})"
+
+
+class PhaseTimer:
+    """Context manager measuring the virtual-clock critical path of a block.
+
+    Example
+    -------
+    >>> with PhaseTimer(machine) as t:
+    ...     alltoallv(machine, payload, phase="sort")
+    >>> t.elapsed  # max-over-ranks clock advance of the block
+    """
+
+    def __init__(self, machine) -> None:
+        self._machine = machine
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self.start = self._machine.elapsed()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = self._machine.elapsed() - self.start

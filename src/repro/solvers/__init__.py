@@ -1,0 +1,20 @@
+"""Long-range interaction solvers.
+
+* :mod:`repro.solvers.fmm` — tree-based Fast Multipole Method with Z-order
+  curve domain decomposition (parallel sorting of Morton box numbers).
+* :mod:`repro.solvers.p2nfft` — grid-based Ewald-splitting particle-mesh
+  solver (P2NFFT-style) with Cartesian process-grid domain decomposition,
+  ghost particles and a linked-cell near field.
+* :mod:`repro.solvers.direct` — O(n^2) direct summation (open boundaries or
+  minimum image), the small-system accuracy oracle.
+* :mod:`repro.solvers.ewald_ref` — classical Ewald summation, the exact
+  periodic reference.
+
+Solvers are obtained through the library interface
+(:func:`repro.core.fcs_init`), mirroring how ScaFaCoS selects solvers by a
+string parameter (``"fmm"`` / ``"p2nfft"`` / ``"direct"``).
+"""
+
+from repro.solvers.base import RunReport, Solver
+
+__all__ = ["RunReport", "Solver"]

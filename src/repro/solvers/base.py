@@ -1,0 +1,118 @@
+"""Solver interface shared by FMM, P2NFFT and the direct solver.
+
+A solver is created for a :class:`~repro.simmpi.machine.Machine`, configured
+with the particle-system properties (``set_common``), optionally tuned, and
+then executed repeatedly on a :class:`~repro.core.particles.ParticleSet`.
+
+The redistribution contract (the heart of the paper) is expressed through
+:class:`RunReport`:
+
+* method **A** (``resort=False``): the solver must leave the particle set in
+  its original order and distribution; ``report.changed`` is ``False``.
+* method **B** (``resort=True``): the solver leaves the particle set in its
+  own (changed) order and distribution **iff** every rank's new particle
+  count fits the application's local array capacity; it then provides
+  ``report.resort_indices`` (per-original-rank packed target locations) so
+  the application can redistribute additional particle data.  If capacity
+  is exceeded on any rank, the solver falls back to restoring the original
+  distribution (``report.changed`` is ``False``), exactly as Sect. III-B
+  specifies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.particles import ParticleSet
+from repro.simmpi.machine import Machine
+
+__all__ = ["RunReport", "Solver"]
+
+
+@dataclasses.dataclass
+class RunReport:
+    """Outcome of one solver execution (one ``fcs_run``)."""
+
+    #: True iff the particle order/distribution returned to the application
+    #: is the solver-specific (changed) one
+    changed: bool
+    #: per-original-rank resort indices (packed target rank/position), only
+    #: available when ``changed`` is True
+    resort_indices: Optional[List[np.ndarray]] = None
+    #: per-original-rank particle counts before the run (resort input shape)
+    old_counts: Optional[np.ndarray] = None
+    #: per-rank particle counts after the run
+    new_counts: Optional[np.ndarray] = None
+    #: which sorting/communication strategy the solver picked
+    strategy: str = ""
+
+
+class Solver:
+    """Abstract solver base; subclasses implement :meth:`tune` and :meth:`run`."""
+
+    #: registry name ("fmm", "p2nfft", "direct")
+    name: str = "abstract"
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.box: Optional[np.ndarray] = None
+        self.offset: Optional[np.ndarray] = None
+        self.periodic: bool = True
+        self._tuned = False
+
+    # -- configuration ---------------------------------------------------------
+
+    def set_common(
+        self,
+        box: Sequence[float],
+        offset: Sequence[float] = (0.0, 0.0, 0.0),
+        periodic: bool = True,
+    ) -> None:
+        """Set the particle-system properties (``fcs_set_common``).
+
+        ``box`` holds the edge lengths of the axis-aligned system box (the
+        general interface takes three base vectors; only orthorhombic boxes
+        are supported here).
+        """
+        self.box = np.asarray(box, dtype=np.float64)
+        self.offset = np.asarray(offset, dtype=np.float64)
+        if self.box.shape != (3,) or self.offset.shape != (3,):
+            raise ValueError("box and offset must be 3-vectors")
+        if np.any(self.box <= 0):
+            raise ValueError(f"box edges must be positive, got {self.box}")
+        self.periodic = bool(periodic)
+        self._tuned = False
+
+    def require_common(self) -> None:
+        if self.box is None:
+            raise RuntimeError("set_common must be called before tune/run")
+
+    # -- execution ---------------------------------------------------------------
+
+    def tune(self, particles: ParticleSet, accuracy: float = 1e-3) -> None:
+        """Determine solver-specific parameters from the current particle
+        positions and charges (``fcs_tune``).  Results remain valid as long
+        as the positions do not change too much."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        particles: ParticleSet,
+        *,
+        resort: bool = False,
+        max_move: Optional[float] = None,
+    ) -> RunReport:
+        """Compute potentials and fields for the current particles
+        (``fcs_run``), writing them into ``particles.pot``/``particles.field``.
+
+        ``resort=True`` requests method B; ``max_move`` passes the
+        application's bound on the maximum particle movement since the last
+        run (enables the limited-movement strategies of Sect. III-B).
+        """
+        raise NotImplementedError
+
+    def destroy(self) -> None:
+        """Release solver resources (``fcs_destroy``)."""

@@ -1,0 +1,10 @@
+"""Shared numerical machinery for the solvers: cell structures, ragged
+pair generation and pairwise Coulomb kernels."""
+
+from repro.solvers.common.pairs import (
+    coulomb_pairs,
+    erfc_pairs,
+    ragged_cross,
+)
+
+__all__ = ["coulomb_pairs", "erfc_pairs", "ragged_cross"]

@@ -1,0 +1,25 @@
+"""Tree-based Fast Multipole Method with Z-order domain decomposition.
+
+The solver follows the classical uniform-depth FMM [Greengard & Rokhlin
+1987] with Cartesian Taylor expansions:
+
+* the system box is recursively subdivided down to a leaf level; leaf boxes
+  are numbered along the Z-Morton curve and particles are placed into boxes
+  by **parallel sorting** of their box numbers (Sect. II-B of the paper) —
+  partition-based [12] for disordered input, merge-based [15] under limited
+  particle movement;
+* near-field contributions (neighbor boxes) are summed directly; far-field
+  contributions are approximated with multipole/local expansions
+  (P2M -> M2M -> M2L -> L2L -> L2P);
+* periodic systems use wrapped neighbor/interaction lists plus a truncated
+  lattice operator at level 2 (see :mod:`repro.solvers.fmm.tree`).
+
+The domain decomposition assigns each process a contiguous segment of the
+Z-order curve, so the solver's particle order and distribution differ from
+the application's — which is exactly what the paper's redistribution
+methods manage.
+"""
+
+from repro.solvers.fmm.solver import FMMSolver
+
+__all__ = ["FMMSolver"]

@@ -1,0 +1,472 @@
+"""Uniform-depth FMM octree: interaction lists, tree passes, near field.
+
+The system box is subdivided ``depth`` times (leaf grid ``2**depth`` per
+dimension).  Boxes at every level are stored in dense row-major per-level
+arrays; all passes are batched matrix operations over these arrays.
+
+Interaction lists (well-separated pairs handled per level) follow the
+classical rule: a source box ``w`` is in the interaction list of target
+``b`` iff their parents are neighbors (Chebyshev distance <= 1) but the
+boxes themselves are not.  For a displacement ``d = w - b`` and per-dim
+target parity ``p`` this reduces to ``d_i in [-2, 3]`` for ``p_i = 0`` and
+``d_i in [-3, 2]`` for ``p_i = 1``, with ``max_i |d_i| >= 2``.
+
+Boundary conditions:
+
+* **open** — displacements are clipped to the grid; levels 0/1 carry no
+  interactions.
+* **periodic** — neighbor and interaction lists wrap around the box.  At
+  level 2 every pair of parent boxes is a (wrapped) neighbor, so level 2
+  must account for *all* image displacements with Chebyshev distance >= 2.
+  This is done with a truncated **lattice operator**: for each of the 64
+  residue classes ``delta = d mod 4`` the M2L kernels of all images
+  ``d = delta + 4R`` (``R`` in ``[-shells, shells]^3``, excluding the
+  near-field images) are pre-summed into one matrix.  The truncation at
+  ``shells`` periodic images is this solver's periodic approximation
+  (DESIGN.md §2); the accompanying tests bound the resulting error against
+  the exact Ewald reference.  Periodic runs require ``depth >= 3`` so that
+  the minimum image convention identifies the adjacent-box image uniquely
+  in the near field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.solvers.common.pairs import coulomb_pairs, ragged_cross, segment_starts
+from repro.solvers.fmm.expansions import Expansion
+
+__all__ = ["FMMTree", "FarFieldStats", "leaf_index_of_positions", "OCTANTS"]
+
+#: the 8 child-coordinate offsets within a parent box
+OCTANTS = np.array(list(itertools.product((0, 1), repeat=3)), dtype=np.int64)
+
+
+def _allowed_displacements(parity: Tuple[int, int, int]) -> np.ndarray:
+    """Interaction-list displacements (source - target) for a target parity."""
+    ranges = [range(-2, 4) if p == 0 else range(-3, 3) for p in parity]
+    out = [
+        d
+        for d in itertools.product(*ranges)
+        if max(abs(c) for c in d) >= 2
+    ]
+    return np.asarray(out, dtype=np.int64)
+
+
+@lru_cache(maxsize=8)
+def _parity_tables() -> Dict[Tuple[int, int, int], np.ndarray]:
+    return {tuple(p): _allowed_displacements(tuple(p)) for p in OCTANTS.tolist()}
+
+
+def leaf_index_of_positions(
+    pos: np.ndarray,
+    offset: np.ndarray,
+    box: np.ndarray,
+    depth: int,
+    periodic: bool,
+) -> np.ndarray:
+    """Row-major leaf box index containing each position."""
+    nside = 1 << depth
+    rel = (np.asarray(pos, dtype=np.float64) - offset) / box * nside
+    cells = np.floor(rel).astype(np.int64)
+    if periodic:
+        cells %= nside
+    else:
+        np.clip(cells, 0, nside - 1, out=cells)
+    return (cells[:, 0] * nside + cells[:, 1]) * nside + cells[:, 2]
+
+
+@dataclasses.dataclass
+class FarFieldStats:
+    """Workload counts of one far-field evaluation (for the cost model)."""
+
+    p2m_particles: int = 0
+    m2m_ops: int = 0
+    m2l_ops: int = 0
+    l2l_ops: int = 0
+    l2p_particles: int = 0
+    near_pairs: int = 0
+    ncoef: int = 0
+
+
+class FMMTree:
+    """Geometry, operators and passes of a uniform FMM tree.
+
+    The tree is reusable across runs as long as ``depth``, ``p`` and the
+    box stay fixed (the tuning contract of ``fcs_tune``).
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        p: int,
+        box: np.ndarray,
+        offset: np.ndarray,
+        periodic: bool,
+        lattice_shells: int = 3,
+        build_operators: bool = True,
+    ) -> None:
+        if periodic and depth < 3:
+            raise ValueError("periodic FMM requires depth >= 3 (minimum image)")
+        if depth < 2:
+            raise ValueError("FMM requires depth >= 2 (no far field otherwise)")
+        self.depth = int(depth)
+        self.p = int(p)
+        self.box = np.asarray(box, dtype=np.float64)
+        self.offset = np.asarray(offset, dtype=np.float64)
+        self.periodic = bool(periodic)
+        self.lattice_shells = int(lattice_shells)
+        self.expansion = Expansion(p)
+        self.ncoef = self.expansion.ncoef
+        self.nside_leaf = 1 << depth
+        self.nboxes_leaf = self.nside_leaf ** 3
+
+        if build_operators:
+            self._build_translation_ops()
+            self._build_m2l_ops()
+            if self.periodic:
+                self._build_lattice_operator()
+
+    # -- geometry ----------------------------------------------------------------
+
+    def box_width(self, level: int) -> np.ndarray:
+        """Edge lengths of a level-``level`` box."""
+        return self.box / (1 << level)
+
+    def box_centers(self, level: int, linear: np.ndarray) -> np.ndarray:
+        """Centers of boxes given by row-major linear indices."""
+        nside = 1 << level
+        c = np.empty((np.asarray(linear).shape[0], 3), dtype=np.int64)
+        lin = np.asarray(linear, dtype=np.int64)
+        c[:, 2] = lin % nside
+        c[:, 1] = (lin // nside) % nside
+        c[:, 0] = lin // (nside * nside)
+        return self.offset + (c + 0.5) * self.box_width(level)
+
+    # -- operator precomputation ----------------------------------------------------
+
+    def _build_translation_ops(self) -> None:
+        """Per-level M2M / L2L matrices for the 8 octants.
+
+        Child-center offset from the parent center at level ``l`` (children
+        live at level ``l+1``) is ``(octant - 0.5) * w_{l+1}``.
+        """
+        self._m2m: List[np.ndarray] = []  # [level][octant] -> (ncoef, ncoef)
+        self._l2l: List[np.ndarray] = []
+        for level in range(self.depth):
+            w_child = self.box_width(level + 1)
+            m2m = np.empty((8, self.ncoef, self.ncoef))
+            l2l = np.empty((8, self.ncoef, self.ncoef))
+            for o, oct_ in enumerate(OCTANTS):
+                s = (oct_ - 0.5) * w_child
+                m2m[o] = self.expansion.m2m_matrix(s)
+                l2l[o] = self.expansion.l2l_matrix(s)
+            self._m2m.append(m2m)
+            self._l2l.append(l2l)
+
+    def _build_m2l_ops(self) -> None:
+        """M2L kernels for the 316 unique displacements, per level.
+
+        The kernel argument is ``t = center_target - center_source =
+        -d * w_level``; matrices are computed once for unit box width and
+        rescaled per level with the homogeneity of ``T``.
+        """
+        disp = np.asarray(
+            [
+                d
+                for d in itertools.product(range(-3, 4), repeat=3)
+                if max(abs(c) for c in d) >= 2
+            ],
+            dtype=np.int64,
+        )
+        self._m2l_disp = disp  # (316, 3), d = source - target
+        w1 = self.box_width(0)  # unit: level-0 width = box
+        K_unit = self.expansion.m2l_matrices(-disp.astype(np.float64) * w1)
+        self._m2l_by_level: List[Optional[np.ndarray]] = [None, None]
+        for level in range(2, self.depth + 1):
+            scale = self.expansion.m2l_scale(1.0 / (1 << level))
+            self._m2l_by_level.append(K_unit * scale[None, :, :])
+        self._disp_position = {tuple(d): i for i, d in enumerate(disp.tolist())}
+
+    def _build_lattice_operator(self) -> None:
+        """Pre-summed level-2 M2L kernels over whole unit-cell images.
+
+        For every *in-cell* box displacement ``delta = s - b`` (``delta`` in
+        ``[-3, 3]^3``) the kernels of the image displacements ``d = delta +
+        4R`` with ``R`` in ``[-shells, shells]^3`` and ``Cheb(d) >= 2`` are
+        pre-summed.  Truncating at whole unit-cell images keeps every
+        included image set charge-complete (each cell is the full neutral
+        system), so the truncated sum converges to the shell-summed
+        (vacuum-boundary) periodic potential; any per-box truncation shape
+        would leave uncancelled partial-cell monopoles instead.
+        """
+        from repro.solvers.fmm.expansions import derivative_tensors, multi_index_set
+
+        S = self.lattice_shells
+        w2 = self.box_width(2)
+        deltas = np.asarray(list(itertools.product(range(-3, 4), repeat=3)), dtype=np.int64)
+        shifts = np.asarray(
+            list(itertools.product(range(-S, S + 1), repeat=3)), dtype=np.int64
+        )
+        ncoef2 = multi_index_set(2 * self.p).ncoef
+        # displacement vectors are shared between residue classes: evaluate
+        # the derivative tensors once per unique vector, then index-sum
+        side = 8 * S + 7  # d in [-(4S+3), 4S+3]
+        lo = -(4 * S + 3)
+        vecs = np.asarray(
+            list(itertools.product(range(lo, lo + side), repeat=3)), dtype=np.int64
+        )
+        vec_keep = np.abs(vecs).max(axis=1) >= 2
+        T_unique = np.zeros((vecs.shape[0], ncoef2))
+        kept = np.flatnonzero(vec_keep)
+        for start in range(0, kept.shape[0], 8192):
+            sel = kept[start:start + 8192]
+            T_unique[sel] = derivative_tensors(-vecs[sel].astype(np.float64) * w2, 2 * self.p)
+
+        def vec_index(v: np.ndarray) -> np.ndarray:
+            return ((v[:, 0] - lo) * side + (v[:, 1] - lo)) * side + (v[:, 2] - lo)
+
+        K_lat = np.empty((deltas.shape[0], self.ncoef, self.ncoef))
+        for di, delta in enumerate(deltas):
+            d_all = delta[None, :] + 4 * shifts
+            d_all = d_all[np.abs(d_all).max(axis=1) >= 2]
+            Tsum = T_unique[vec_index(d_all)].sum(axis=0)
+            K_lat[di] = self.expansion.m2l_matrix_from_tensors(Tsum)
+        self._lattice_deltas = deltas
+        self._lattice_K = K_lat
+
+    # -- tree passes -------------------------------------------------------------------
+
+    def leaf_moments(self, pos: np.ndarray, q: np.ndarray, leaf_idx: np.ndarray) -> np.ndarray:
+        """P2M: accumulate particle moments into the dense leaf array."""
+        centers = self.box_centers(self.depth, leaf_idx)
+        rows = self.expansion.p2m_rows(pos - centers, q)
+        M = np.zeros((self.nboxes_leaf, self.ncoef))
+        np.add.at(M, leaf_idx, rows)
+        return M
+
+    def _children_linear(self, level: int) -> np.ndarray:
+        """(nboxes_level, 8) linear child indices at ``level + 1``."""
+        nside = 1 << level
+        nchild = nside * 2
+        lin = np.arange(nside ** 3, dtype=np.int64)
+        cz = lin % nside
+        cy = (lin // nside) % nside
+        cx = lin // (nside * nside)
+        out = np.empty((nside ** 3, 8), dtype=np.int64)
+        for o, oct_ in enumerate(OCTANTS):
+            out[:, o] = (
+                (2 * cx + oct_[0]) * nchild + (2 * cy + oct_[1])
+            ) * nchild + (2 * cz + oct_[2])
+        return out
+
+    def upward(self, M_leaf: np.ndarray, stats: FarFieldStats) -> List[Optional[np.ndarray]]:
+        """M2M from leaves up to level 2; returns moments per level."""
+        M: List[Optional[np.ndarray]] = [None] * (self.depth + 1)
+        M[self.depth] = M_leaf
+        for level in range(self.depth - 1, 1, -1):
+            children = self._children_linear(level)
+            Ml = np.zeros(((1 << level) ** 3, self.ncoef))
+            for o in range(8):
+                Ml += M[level + 1][children[:, o]] @ self._m2m[level][o].T
+            M[level] = Ml
+            stats.m2m_ops += Ml.shape[0] * 8
+        return M
+
+    def interactions(self, M: List[Optional[np.ndarray]], stats: FarFieldStats) -> List[Optional[np.ndarray]]:
+        """M2L at every level; returns local coefficients per level."""
+        L: List[Optional[np.ndarray]] = [None] * (self.depth + 1)
+        for level in range(2, self.depth + 1):
+            nside = 1 << level
+            nboxes = nside ** 3
+            Ll = np.zeros((nboxes, self.ncoef))
+            Ml = M[level]
+            if level == 2 and self.periodic:
+                # lattice operator: in-cell displacements, no wrapping (the
+                # images are inside the pre-summed kernels)
+                lin = np.arange(nboxes, dtype=np.int64)
+                cz = lin % nside
+                cy = (lin // nside) % nside
+                cx = lin // (nside * nside)
+                for di, delta in enumerate(self._lattice_deltas):
+                    sx = cx + delta[0]
+                    sy = cy + delta[1]
+                    sz = cz + delta[2]
+                    inside = (
+                        (sx >= 0) & (sx < nside)
+                        & (sy >= 0) & (sy < nside)
+                        & (sz >= 0) & (sz < nside)
+                    )
+                    if not inside.any():
+                        continue
+                    src = (sx[inside] * nside + sy[inside]) * nside + sz[inside]
+                    Ll[inside] += Ml[src] @ self._lattice_K[di].T
+                    stats.m2l_ops += int(inside.sum())
+                L[level] = Ll
+                continue
+            K = self._m2l_by_level[level]
+            lin = np.arange(nboxes, dtype=np.int64)
+            cz = lin % nside
+            cy = (lin // nside) % nside
+            cx = lin // (nside * nside)
+            parity_key = ((cx % 2) * 2 + (cy % 2)) * 2 + (cz % 2)
+            tables = _parity_tables()
+            for o, oct_ in enumerate(OCTANTS):
+                targets = np.flatnonzero(parity_key == ((oct_[0] * 2 + oct_[1]) * 2 + oct_[2]))
+                if targets.size == 0:
+                    continue
+                tx, ty, tz = cx[targets], cy[targets], cz[targets]
+                for d in tables[tuple(oct_)]:
+                    sx, sy, sz = tx + d[0], ty + d[1], tz + d[2]
+                    if self.periodic:
+                        sx, sy, sz = sx % nside, sy % nside, sz % nside
+                        sel = slice(None)
+                        tgt = targets
+                    else:
+                        inside = (
+                            (sx >= 0) & (sx < nside)
+                            & (sy >= 0) & (sy < nside)
+                            & (sz >= 0) & (sz < nside)
+                        )
+                        if not inside.any():
+                            continue
+                        sel = inside
+                        tgt = targets[inside]
+                        sx, sy, sz = sx[sel], sy[sel], sz[sel]
+                    src = (sx * nside + sy) * nside + sz
+                    Kd = K[self._disp_position[tuple(d)]]
+                    Ll[tgt] += Ml[src] @ Kd.T
+                    stats.m2l_ops += tgt.shape[0]
+            L[level] = Ll
+        return L
+
+    def downward(self, L: List[Optional[np.ndarray]], stats: FarFieldStats) -> np.ndarray:
+        """L2L from level 2 down; returns the leaf local coefficients."""
+        for level in range(2, self.depth):
+            children = self._children_linear(level)
+            for o in range(8):
+                L[level + 1][children[:, o]] += L[level] @ self._l2l[level][o].T
+            stats.l2l_ops += L[level].shape[0] * 8
+        return L[self.depth]
+
+    def far_field(
+        self,
+        pos: np.ndarray,
+        q: np.ndarray,
+        leaf_idx: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, FarFieldStats]:
+        """Complete far-field evaluation for all particles.
+
+        Returns ``(pot, field, stats)``.  ``leaf_idx`` must match ``pos``
+        (see :func:`leaf_index_of_positions`).
+        """
+        stats = FarFieldStats(ncoef=self.ncoef)
+        stats.p2m_particles = pos.shape[0]
+        stats.l2p_particles = pos.shape[0]
+        M_leaf = self.leaf_moments(pos, q, leaf_idx)
+        M = self.upward(M_leaf, stats)
+        L = self.interactions(M, stats)
+        L_leaf = self.downward(L, stats)
+        centers = self.box_centers(self.depth, leaf_idx)
+        pot, field = self.expansion.l2p(L_leaf[leaf_idx], pos - centers)
+        return pot, field, stats
+
+    # -- near field -----------------------------------------------------------------------
+
+    def morton_keys(self, pos: np.ndarray) -> np.ndarray:
+        """Z-Morton leaf box numbers of positions (the FMM's sort keys)."""
+        from repro.zorder.morton import morton_keys_of_positions
+
+        return morton_keys_of_positions(
+            pos, self.offset, self.box, self.depth, self.periodic
+        )
+
+    def linear_of_morton(self, keys: np.ndarray) -> np.ndarray:
+        """Row-major leaf index of Morton box numbers."""
+        from repro.zorder.morton import morton_decode3
+
+        x, y, z = morton_decode3(keys)
+        nside = self.nside_leaf
+        return (x.astype(np.int64) * nside + y.astype(np.int64)) * nside + z.astype(np.int64)
+
+    def near_field_morton(
+        self,
+        tpos: np.ndarray,
+        t_keys_sorted: np.ndarray,
+        spos: np.ndarray,
+        sq: np.ndarray,
+        s_keys_sorted: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Near field of targets against sources grouped by Morton leaf box.
+
+        ``t_keys_sorted``/``s_keys_sorted`` are ascending Morton box numbers
+        (the order the parallel sort produces); positions/charges are in
+        that same order.  Periodic systems use minimum-image displacements
+        (valid because ``depth >= 3``).  Used both by the sequential
+        evaluation (targets == sources == everything) and by each rank of
+        the parallel solver (targets = owned, sources = owned + halo).
+
+        Returns ``(pot, field, pair_count)`` aligned with the targets.
+        """
+        from repro.zorder.morton import morton_decode3, morton_encode3
+
+        nside = self.nside_leaf
+        # unique populated target boxes and their segments
+        t_boxes, t_first = np.unique(t_keys_sorted, return_index=True)
+        t_last = np.concatenate((t_first[1:], [t_keys_sorted.shape[0]]))
+        tx, ty, tz = (c.astype(np.int64) for c in morton_decode3(t_boxes))
+        pot = np.zeros(tpos.shape[0])
+        field = np.zeros((tpos.shape[0], 3))
+        pair_count = 0
+        box = self.box if self.periodic else None
+        for d in itertools.product((-1, 0, 1), repeat=3):
+            sx, sy, sz = tx + d[0], ty + d[1], tz + d[2]
+            if self.periodic:
+                sx, sy, sz = sx % nside, sy % nside, sz % nside
+                mask = np.ones(t_boxes.shape[0], dtype=bool)
+            else:
+                mask = (
+                    (sx >= 0) & (sx < nside)
+                    & (sy >= 0) & (sy < nside)
+                    & (sz >= 0) & (sz < nside)
+                )
+                if not mask.any():
+                    continue
+                sx, sy, sz = sx[mask], sy[mask], sz[mask]
+            src_keys = morton_encode3(sx, sy, sz)
+            s_start = np.searchsorted(s_keys_sorted, src_keys, side="left")
+            s_end = np.searchsorted(s_keys_sorted, src_keys, side="right")
+            ti, si = ragged_cross(t_first[mask], t_last[mask], s_start, s_end)
+            if ti.size == 0:
+                continue
+            p, f, c = coulomb_pairs(tpos, spos, sq, ti, si, box=box)
+            pot += p
+            field += f
+            pair_count += c
+        return pot, field, pair_count
+
+    def evaluate(self, pos: np.ndarray, q: np.ndarray) -> Tuple[np.ndarray, np.ndarray, FarFieldStats]:
+        """Sequential full FMM evaluation (far + near) in input order.
+
+        The reference entry point used by tests and by single-rank runs.
+        """
+        pos = np.asarray(pos, dtype=np.float64)
+        q = np.asarray(q, dtype=np.float64)
+        keys = self.morton_keys(pos)
+        order = np.argsort(keys, kind="stable")
+        inv = np.empty_like(order)
+        inv[order] = np.arange(order.shape[0])
+        spos = pos[order]
+        sq = q[order]
+        skeys = keys[order]
+        pot_far, field_far, stats = self.far_field(spos, sq, self.linear_of_morton(skeys))
+        pot_near, field_near, pairs = self.near_field_morton(spos, skeys, spos, sq, skeys)
+        stats.near_pairs = pairs
+        pot = (pot_far + pot_near)[inv]
+        field = (field_far + field_near)[inv]
+        return pot, field, stats

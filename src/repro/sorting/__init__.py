@@ -1,0 +1,24 @@
+"""Parallel sorting methods for distributed particle data.
+
+The FMM solver places particles into Z-Morton-numbered boxes by parallel
+sorting.  Two methods from the paper are implemented:
+
+* :func:`~repro.sorting.partition_sort.partition_sort` — the partition-based
+  parallel sorting algorithm [12] used for arbitrarily disordered input
+  (method A, and method B's first execution): regular sampling selects
+  splitters, a collective all-to-all moves each partition to its target
+  process, and a local merge finishes.
+* :func:`~repro.sorting.merge_sort.merge_exchange_sort` — the merge-based
+  parallel sorting algorithm [15] used for *almost sorted* input under
+  limited particle movement: local sorts followed by pairwise merge steps
+  according to Batcher's merge-exchange sorting network [16], using only
+  point-to-point communication.  Already-ordered pairs exchange only a
+  constant-size control message, so nearly sorted data moves almost no
+  bytes.
+"""
+
+from repro.sorting.batcher import merge_exchange_rounds
+from repro.sorting.merge_sort import merge_exchange_sort
+from repro.sorting.partition_sort import partition_sort
+
+__all__ = ["merge_exchange_rounds", "merge_exchange_sort", "partition_sort"]

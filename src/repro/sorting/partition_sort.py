@@ -1,0 +1,172 @@
+"""Partition-based parallel sorting [12] (sample sort with regular sampling).
+
+Used by the FMM solver to place arbitrarily disordered particles into their
+Z-Morton boxes: each rank sorts locally, contributes regularly spaced key
+samples, all ranks agree on ``P-1`` splitter keys, partition their local
+data and exchange the partitions with one collective all-to-all (the
+fine-grained transport).  A final local multi-way merge restores local
+order.
+
+Compared to the merge-based method this always moves the full data volume
+and uses collective all-to-all communication — cheap for disordered input,
+wasteful for almost-sorted input; the FMM's max-movement heuristic
+(:func:`repro.core.movement.fmm_prefers_merge_sort`) switches between the
+two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import kernels
+from repro.core.particles import ColumnBlock
+from repro.simmpi.collectives import allgatherv, alltoallv
+from repro.simmpi.machine import Machine
+from repro.sorting.merge_sort import local_sort
+
+__all__ = ["partition_sort", "select_splitters"]
+
+
+def select_splitters(
+    machine: Machine,
+    sorted_keys: Sequence[np.ndarray],
+    oversampling: int = 16,
+    phase: Optional[str] = None,
+) -> np.ndarray:
+    """Agree on ``P-1`` global splitter keys by regular sampling.
+
+    Each rank contributes up to ``oversampling`` regularly spaced keys from
+    its locally sorted run; the gathered sample is sorted everywhere and
+    regular positions become the splitters.  With regular sampling the
+    resulting partition sizes are bounded by roughly ``2 n / P``.
+    """
+    P = machine.nprocs
+    samples: List[np.ndarray] = []
+    for keys in sorted_keys:
+        n = keys.shape[0]
+        if n == 0:
+            samples.append(np.empty(0, dtype=np.uint64))
+            continue
+        s = min(oversampling, n)
+        pos = ((np.arange(s, dtype=np.float64) + 0.5) * n / s).astype(np.int64)
+        samples.append(np.ascontiguousarray(keys[pos]))
+    gathered = allgatherv(machine, samples, phase)[0]
+    gathered = np.sort(gathered)
+    if gathered.size == 0 or P == 1:
+        return np.empty(0, dtype=np.uint64)
+    pos = ((np.arange(1, P, dtype=np.float64)) * gathered.size / P).astype(np.int64)
+    # sorting the gathered sample is a bare key sort, not a record sort
+    machine.compute(
+        np.full(
+            P,
+            kernels.KEY_SORT_STEP * gathered.size * max(1.0, np.log2(max(gathered.size, 2))),
+        ),
+        phase,
+    )
+    return gathered[pos].astype(np.uint64)
+
+
+def partition_sort(
+    machine: Machine,
+    blocks: Sequence[ColumnBlock],
+    key: str,
+    phase: Optional[str] = None,
+    *,
+    target_counts: Optional[Sequence[int]] = None,
+    oversampling: int = 32,
+    presorted: bool = False,
+) -> List[ColumnBlock]:
+    """Globally sort distributed blocks by ``key`` into exact part sizes.
+
+    The partitioning algorithm [12] produces parts of *specified* sizes:
+    ``target_counts`` defaults to the current per-rank counts, matching the
+    ScaFaCoS FMM which "performs no further load balancing" — with a
+    single-process initial distribution the sorted particles therefore stay
+    on that process and the solver computes sequentially (Fig. 6).  Pass
+    balanced counts to rebalance instead.
+
+    Returns new per-rank blocks: locally sorted, globally partitioned
+    (all keys on rank ``i`` <= all keys on rank ``j`` for ``i < j``) with
+    exactly ``target_counts[i]`` elements on rank ``i``.
+
+    Cost model: local sorts, the splitter agreement (sample allgather plus
+    a bounded number of exact-partition refinement rounds, as in [12]),
+    one collective all-to-all for the payload, and the local multi-way
+    merges.  The data plane computes the exact partition directly.
+    """
+    if len(blocks) != machine.nprocs:
+        raise ValueError(f"{len(blocks)} blocks for {machine.nprocs} ranks")
+    P = machine.nprocs
+    current = list(blocks) if presorted else local_sort(machine, blocks, key, phase)
+    if target_counts is None:
+        target_counts = [b.n for b in current]
+    else:
+        target_counts = [int(c) for c in target_counts]
+        total = sum(b.n for b in current)
+        if sum(target_counts) != total:
+            raise ValueError(
+                f"target_counts sum {sum(target_counts)} != total elements {total}"
+            )
+    if P == 1:
+        return current
+
+    # communication of the splitter agreement: one sample allgather plus an
+    # exact-partitioning refinement round of scalar reductions [12]
+    select_splitters(machine, [b[key] for b in current], oversampling, phase)
+    machine.advance(
+        machine.model.tree_collective_time(P, 16.0, machine.topology.diameter()),
+        phase,
+        messages=2 * (P - 1),
+    )
+
+    # data plane: exact global partition at the prefix boundaries of
+    # target_counts, ties broken by (rank, position) so the split is stable
+    all_keys = np.concatenate([b[key] for b in current])
+    src_rank = np.concatenate(
+        [np.full(b.n, r, dtype=np.int64) for r, b in enumerate(current)]
+    )
+    local_pos = np.concatenate([np.arange(b.n, dtype=np.int64) for b in current])
+    order = np.argsort(all_keys, kind="stable")  # stable = (rank, pos) tie order
+    bounds = np.concatenate(([0], np.cumsum(np.asarray(target_counts, dtype=np.int64))))
+    dest = np.empty(all_keys.shape[0], dtype=np.int64)
+    for dst in range(P):
+        dest[order[bounds[dst]:bounds[dst + 1]]] = dst
+
+    sends: List[dict] = []
+    send_blocks: List[dict] = []
+    offset = 0
+    for r, block in enumerate(current):
+        d = dest[offset:offset + block.n]
+        offset += block.n
+        per_target: dict = {}
+        blocks_out: dict = {}
+        if block.n:
+            targets = np.unique(d)
+            for dst in targets:
+                sub = block.take(np.flatnonzero(d == dst))
+                blocks_out[int(dst)] = sub
+                per_target[int(dst)] = sub.payload()
+        sends.append(per_target)
+        send_blocks.append(blocks_out)
+
+    recv = alltoallv(machine, sends, phase)
+
+    out: List[ColumnBlock] = []
+    merge_cost = np.zeros(P, dtype=np.float64)
+    template = current[0]
+    for dst in range(P):
+        received = [send_blocks[src][dst] for src, _payload in recv[dst]]
+        if not received:
+            out.append(ColumnBlock.empty_like(template, 0))
+            continue
+        merged = ColumnBlock.concat(received)
+        morder = np.argsort(merged[key], kind="stable")
+        merged = merged.take(morder)
+        out.append(merged)
+        if merged.n > 1:
+            # k-way merge of sorted runs: n log k
+            merge_cost[dst] = kernels.SORT_STEP * merged.n * np.log2(max(len(received), 2))
+    machine.compute(merge_cost, phase)
+    return out

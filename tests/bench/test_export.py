@@ -1,0 +1,70 @@
+"""CSV export and ASCII chart rendering."""
+
+import csv
+import os
+
+import pytest
+
+from repro.bench.export import ascii_chart, figure_to_csv, write_csv
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "sub" / "x.csv")
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+class TestFigureToCsv:
+    def test_fig6(self, tmp_path):
+        results = {
+            "fmm": {"single": {"total": 1.0, "sort": 0.5, "restore": 0.1}},
+        }
+        paths = figure_to_csv("fig6", results, str(tmp_path))
+        assert len(paths) == 1 and os.path.exists(paths[0])
+
+    def test_fig7(self, tmp_path):
+        series = {
+            "sort": [1.0, 0.1],
+            "restore": [0.5, 0.5],
+            "resort": [0.0, 0.05],
+            "total": [2.0, 1.0],
+        }
+        results = {"fmm": {"A": dict(series), "B": dict(series)}}
+        paths = figure_to_csv("fig7", results, str(tmp_path))
+        with open(paths[0]) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "step"
+        assert len(rows) == 3
+
+    def test_fig9(self, tmp_path):
+        results = {"p2nfft": {"procs": [16, 64], "A": [2.0, 1.0], "B": [1.9, 1.1], "B+move": [1.8, 0.9]}}
+        paths = figure_to_csv("fig9", results, str(tmp_path))
+        with open(paths[0]) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[1] == ["16", "2.0", "1.9", "1.8"]
+
+    def test_unknown(self, tmp_path):
+        with pytest.raises(ValueError):
+            figure_to_csv("fig99", {}, str(tmp_path))
+
+
+class TestAsciiChart:
+    def test_renders(self):
+        out = ascii_chart({"a": [1.0, 10.0, 100.0], "b": [5.0, 5.0, 5.0]})
+        assert "*" in out and "+" in out
+        assert "log10" in out
+        assert len(out.splitlines()) == 14
+
+    def test_linear(self):
+        out = ascii_chart({"a": [0.0, 1.0]}, log=False)
+        assert "linear" in out
+
+    def test_empty(self):
+        assert "empty" in ascii_chart({"a": []})
+
+    def test_constant_series(self):
+        out = ascii_chart({"a": [2.0, 2.0]})
+        assert "*" in out

@@ -1,0 +1,44 @@
+"""Shared fixtures: small machines, particle systems, distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import ParticleSet
+from repro.md.systems import silica_melt_system
+from repro.simmpi.machine import Machine
+
+
+@pytest.fixture
+def machine4():
+    return Machine(4)
+
+
+@pytest.fixture
+def machine8():
+    return Machine(8)
+
+
+@pytest.fixture(scope="session")
+def small_system():
+    """400 ions at paper density (box ~19.5)."""
+    return silica_melt_system(400, seed=3)
+
+
+@pytest.fixture(scope="session")
+def medium_system():
+    """2000 ions at paper density (box ~33.3)."""
+    return silica_melt_system(2000, seed=1)
+
+
+def random_particle_set(system, nprocs, seed=0, capacity_factor=4.0):
+    """Distribute a system uniformly at random among ranks."""
+    rng = np.random.default_rng(seed)
+    owner = rng.integers(0, nprocs, system.n)
+    pos = [system.pos[owner == r].copy() for r in range(nprocs)]
+    q = [system.q[owner == r].copy() for r in range(nprocs)]
+    return ParticleSet(pos, q, capacity_factor=capacity_factor), owner
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,153 @@
+"""Fine-grained data redistribution: permutation, duplication, ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fine_grained import fine_grained_redistribute
+from repro.core.particles import ColumnBlock
+from repro.simmpi.machine import Machine
+
+
+def id_blocks(counts, start=0):
+    """Blocks carrying a unique id column."""
+    blocks, base = [], start
+    for c in counts:
+        blocks.append(ColumnBlock(ident=np.arange(base, base + c, dtype=np.int64)))
+        base += c
+    return blocks
+
+
+class TestPlainTargets:
+    def test_all_to_one(self, machine4):
+        blocks = id_blocks([2, 3, 1, 0])
+        out = fine_grained_redistribute(
+            machine4, blocks, lambda r, b: np.zeros(b.n, dtype=np.int64), "x"
+        )
+        assert [b.n for b in out] == [6, 0, 0, 0]
+        np.testing.assert_array_equal(np.sort(out[0]["ident"]), np.arange(6))
+
+    def test_identity(self, machine4):
+        blocks = id_blocks([2, 2, 2, 2])
+        out = fine_grained_redistribute(
+            machine4, blocks, lambda r, b: np.full(b.n, r, dtype=np.int64), "x"
+        )
+        for r in range(4):
+            np.testing.assert_array_equal(out[r]["ident"], blocks[r]["ident"])
+
+    def test_source_order_preserved(self, machine4):
+        """Received elements arrive grouped by source rank, each group in
+        the sender's element order — the contract resort indices rely on."""
+        blocks = id_blocks([3, 3, 0, 0])
+        out = fine_grained_redistribute(
+            machine4, blocks, lambda r, b: np.ones(b.n, dtype=np.int64), "x"
+        )
+        np.testing.assert_array_equal(out[1]["ident"], [0, 1, 2, 3, 4, 5])
+
+    def test_permutation_property(self, rng):
+        P = 6
+        m = Machine(P)
+        counts = rng.integers(0, 20, P)
+        blocks = id_blocks(counts)
+        targets = [rng.integers(0, P, c) for c in counts]
+        out = fine_grained_redistribute(
+            m, blocks, lambda r, b: targets[r], "x"
+        )
+        all_ids = np.sort(np.concatenate([b["ident"] for b in out]))
+        np.testing.assert_array_equal(all_ids, np.arange(counts.sum()))
+        # per-rank counts match target multiplicities
+        tg = np.concatenate(targets) if counts.sum() else np.empty(0, dtype=np.int64)
+        for r in range(P):
+            assert out[r].n == int((tg == r).sum())
+
+    def test_invalid_rank_raises(self, machine4):
+        blocks = id_blocks([2, 0, 0, 0])
+        with pytest.raises(ValueError):
+            fine_grained_redistribute(
+                machine4, blocks, lambda r, b: np.full(b.n, 9, dtype=np.int64), "x"
+            )
+
+    def test_wrong_shape_raises(self, machine4):
+        blocks = id_blocks([2, 0, 0, 0])
+        with pytest.raises(ValueError):
+            fine_grained_redistribute(
+                machine4, blocks, lambda r, b: np.zeros(b.n + 1, dtype=np.int64), "x"
+            )
+
+
+class TestDuplication:
+    def test_ghost_copies(self, machine4):
+        """Returning repeated element indices duplicates particles — the
+        ghost-creation mechanism of the P2NFFT redistribution."""
+        blocks = id_blocks([2, 0, 0, 0])
+
+        def dist(rank, block):
+            if rank != 0:
+                return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            elems = np.array([0, 0, 1], dtype=np.int64)
+            targs = np.array([1, 2, 1], dtype=np.int64)
+            return elems, targs
+
+        out = fine_grained_redistribute(machine4, blocks, dist, "x")
+        assert out[0].n == 0  # original dropped (no self target)
+        np.testing.assert_array_equal(np.sort(out[1]["ident"]), [0, 1])
+        np.testing.assert_array_equal(out[2]["ident"], [0])
+
+    def test_dropping(self, machine4):
+        """Elements with no target vanish (ghost removal)."""
+        blocks = id_blocks([3, 0, 0, 0])
+
+        def dist(rank, block):
+            if rank or block.n == 0:
+                return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            return np.array([1], dtype=np.int64), np.array([0], dtype=np.int64)
+
+        out = fine_grained_redistribute(machine4, blocks, dist, "x")
+        assert sum(b.n for b in out) == 1
+        assert out[0]["ident"][0] == 1
+
+    def test_mismatched_dup_arrays(self, machine4):
+        blocks = id_blocks([2, 0, 0, 0])
+        with pytest.raises(ValueError):
+            fine_grained_redistribute(
+                machine4,
+                blocks,
+                lambda r, b: (np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.int64)),
+                "x",
+            )
+
+
+class TestComm:
+    def test_neighborhood_same_data(self, machine8):
+        blocks = id_blocks([4] * 8)
+        targets = lambda r, b: np.full(b.n, (r + 1) % 8, dtype=np.int64)
+        out1 = fine_grained_redistribute(machine8, blocks, targets, "x", comm="alltoall")
+        m2 = Machine(8)
+        out2 = fine_grained_redistribute(m2, id_blocks([4] * 8), targets, "x", comm="neighborhood")
+        for a, b in zip(out1, out2):
+            np.testing.assert_array_equal(a["ident"], b["ident"])
+        assert m2.elapsed() < machine8.elapsed()
+
+    def test_bad_comm(self, machine4):
+        with pytest.raises(ValueError):
+            fine_grained_redistribute(
+                machine4, id_blocks([1, 0, 0, 0]),
+                lambda r, b: np.zeros(b.n, dtype=np.int64), "x", comm="magic",
+            )
+
+    def test_multi_column_payload_travels_together(self, machine4):
+        rng = np.random.default_rng(1)
+        blocks = []
+        for r in range(4):
+            n = 5
+            ident = np.arange(r * 5, r * 5 + 5, dtype=np.int64)
+            blocks.append(
+                ColumnBlock(ident=ident, pos=rng.uniform(size=(n, 3)), q=ident * 1.5)
+            )
+        out = fine_grained_redistribute(
+            machine4, blocks, lambda r, b: b["ident"] % 4, "x"
+        )
+        for r in range(4):
+            np.testing.assert_allclose(out[r]["q"], out[r]["ident"] * 1.5)
+            assert np.all(out[r]["ident"] % 4 == r)

@@ -1,0 +1,85 @@
+"""Max-movement bookkeeping and the Sect. III-B heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core.movement import (
+    MovementTracker,
+    fmm_prefers_merge_sort,
+    max_movement,
+    p2nfft_prefers_neighborhood,
+    process_cube_side,
+)
+from repro.simmpi.cart import CartGrid
+from repro.simmpi.machine import Machine
+
+
+class TestMaxMovement:
+    def test_basic(self, machine4, rng):
+        old = [rng.uniform(0, 10, (5, 3)) for _ in range(4)]
+        new = [o.copy() for o in old]
+        new[2][3] += np.array([0.3, 0.4, 0.0])  # displacement 0.5
+        mv = max_movement(machine4, old, new)
+        assert mv == pytest.approx(0.5)
+
+    def test_empty_ranks(self, machine4):
+        old = [np.zeros((0, 3))] * 4
+        assert max_movement(machine4, old, old) == 0.0
+
+    def test_minimum_image(self, machine4):
+        box = np.array([10.0, 10.0, 10.0])
+        old = [np.array([[9.9, 0.0, 0.0]])] + [np.zeros((0, 3))] * 3
+        new = [np.array([[0.1, 0.0, 0.0]])] + [np.zeros((0, 3))] * 3
+        assert max_movement(machine4, old, new, box=box) == pytest.approx(0.2)
+
+    def test_shape_mismatch(self, machine4):
+        old = [np.zeros((2, 3))] * 4
+        new = [np.zeros((3, 3))] * 4
+        with pytest.raises(ValueError):
+            max_movement(machine4, old, new)
+
+    def test_charges_communication(self, machine4):
+        old = [np.zeros((2, 3))] * 4
+        max_movement(machine4, old, old, phase="mv")
+        assert machine4.trace.get("mv").time > 0
+
+
+class TestHeuristics:
+    def test_cube_side(self):
+        box = np.array([8.0, 8.0, 8.0])
+        assert process_cube_side(box, 8) == pytest.approx(4.0)
+        assert process_cube_side(box, 1) == pytest.approx(8.0)
+
+    def test_fmm_rule(self):
+        box = np.array([8.0, 8.0, 8.0])
+        assert fmm_prefers_merge_sort(box, 8, 3.9)
+        assert not fmm_prefers_merge_sort(box, 8, 4.1)
+
+    def test_p2nfft_rule(self):
+        grid = CartGrid(8, (8.0, 8.0, 8.0))
+        assert p2nfft_prefers_neighborhood(grid, 3.9)
+        assert not p2nfft_prefers_neighborhood(grid, 4.1)
+
+    def test_bad_nprocs(self):
+        with pytest.raises(ValueError):
+            process_cube_side(np.ones(3), 0)
+
+
+class TestTracker:
+    def test_observe(self):
+        t = MovementTracker()
+        assert t.current is None
+        t.observe(0.5)
+        t.observe(0.2)
+        assert t.current == 0.2
+        assert t.history == [0.5, 0.2]
+
+    def test_invalidate(self):
+        t = MovementTracker()
+        t.observe(1.0)
+        t.invalidate()
+        assert t.current is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MovementTracker().observe(-1.0)

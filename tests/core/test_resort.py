@@ -1,0 +1,142 @@
+"""Resort indices: packing, inversion-with-communication, application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.particles import ColumnBlock
+from repro.core.resort import (
+    apply_resort,
+    initial_numbering,
+    invert_indices,
+    pack_resort_index,
+    unpack_resort_index,
+)
+from repro.simmpi.machine import Machine
+
+u31 = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+@given(u31, u31)
+@settings(max_examples=150, deadline=None)
+def test_pack_unpack_roundtrip(rank, position):
+    packed = pack_resort_index(np.array([rank]), np.array([position]))
+    r, p = unpack_resort_index(packed)
+    assert (r[0], p[0]) == (rank, position)
+
+
+def test_pack_range_checks():
+    with pytest.raises(ValueError):
+        pack_resort_index(np.array([-1]), np.array([0]))
+    with pytest.raises(ValueError):
+        pack_resort_index(np.array([0]), np.array([1 << 33]))
+
+
+def test_unpack_ghost_rejected():
+    with pytest.raises(ValueError):
+        unpack_resort_index(np.array([-1]))
+
+
+def test_initial_numbering():
+    nums = initial_numbering([2, 0, 3])
+    r0, p0 = unpack_resort_index(nums[0])
+    np.testing.assert_array_equal(r0, [0, 0])
+    np.testing.assert_array_equal(p0, [0, 1])
+    assert nums[1].shape == (0,)
+    r2, p2 = unpack_resort_index(nums[2])
+    np.testing.assert_array_equal(r2, [2, 2, 2])
+    np.testing.assert_array_equal(p2, [0, 1, 2])
+
+
+def scatter_particles(machine, counts, rng):
+    """Simulate a solver reordering: a random global permutation of the
+    initially numbered particles, returning (origloc per rank, where each
+    original particle currently lives)."""
+    P = machine.nprocs
+    total = int(sum(counts))
+    numbering = np.concatenate(initial_numbering(counts)) if total else np.empty(0, dtype=np.int64)
+    perm = rng.permutation(total)
+    # new distribution: random counts
+    new_counts = np.bincount(rng.integers(0, P, total), minlength=P)
+    bounds = np.concatenate(([0], np.cumsum(new_counts)))
+    origloc = [numbering[perm[bounds[r]:bounds[r + 1]]] for r in range(P)]
+    return origloc, [int(c) for c in new_counts]
+
+
+class TestInvert:
+    def test_roundtrip(self, machine4, rng):
+        counts = [5, 3, 0, 7]
+        origloc, new_counts = scatter_particles(machine4, counts, rng)
+        resort = invert_indices(machine4, origloc, counts, "x")
+        # applying the resort indices to the original ids must land each
+        # id exactly where origloc says it now lives
+        ids = [np.arange(100 * r, 100 * r + c, dtype=np.int64) for r, c in enumerate(counts)]
+        out = apply_resort(
+            machine4, resort, [ColumnBlock(ident=i) for i in ids], new_counts, "x"
+        )
+        for r in range(4):
+            got = out[r]["ident"]
+            r_src, p_src = unpack_resort_index(origloc[r])
+            expected = 100 * r_src + p_src
+            np.testing.assert_array_equal(got, expected)
+
+    def test_identity_permutation(self, machine4):
+        counts = [3, 3, 3, 3]
+        origloc = initial_numbering(counts)
+        resort = invert_indices(machine4, origloc, counts, "x")
+        for r in range(4):
+            rr, pp = unpack_resort_index(resort[r])
+            np.testing.assert_array_equal(rr, r)
+            np.testing.assert_array_equal(pp, np.arange(3))
+
+    def test_count_mismatch_raises(self, machine4):
+        origloc = initial_numbering([2, 2, 2, 2])
+        with pytest.raises(ValueError):
+            invert_indices(machine4, origloc, [1, 2, 2, 2], "x")
+
+
+class TestApplyResort:
+    def test_multi_column(self, machine4, rng):
+        counts = [4, 4, 4, 4]
+        origloc, new_counts = scatter_particles(machine4, counts, rng)
+        resort = invert_indices(machine4, origloc, counts, "x")
+        vel = [rng.uniform(size=(c, 3)) for c in counts]
+        acc = [rng.uniform(size=(c, 3)) for c in counts]
+        out = apply_resort(
+            machine4,
+            resort,
+            [ColumnBlock(vel=v, acc=a) for v, a in zip(vel, acc)],
+            new_counts,
+            "x",
+        )
+        # verify against origloc: row i of rank r must hold the data of
+        # the original particle origloc[r][i]
+        for r in range(4):
+            r_src, p_src = unpack_resort_index(origloc[r])
+            for i in range(new_counts[r]):
+                np.testing.assert_allclose(out[r]["vel"][i], vel[r_src[i]][p_src[i]])
+                np.testing.assert_allclose(out[r]["acc"][i], acc[r_src[i]][p_src[i]])
+
+    def test_shape_mismatch(self, machine4):
+        resort = initial_numbering([2, 2, 2, 2])
+        data = [ColumnBlock(x=np.zeros(3))] * 4
+        with pytest.raises(ValueError):
+            apply_resort(machine4, resort, data, [2, 2, 2, 2], "x")
+
+    def test_non_permutation_detected(self, machine4):
+        # two particles claiming the same target position
+        bad = [pack_resort_index(np.zeros(2, dtype=np.int64), np.zeros(2, dtype=np.int64))]
+        bad += [np.empty(0, dtype=np.int64)] * 3
+        data = [ColumnBlock(x=np.zeros(2))] + [ColumnBlock(x=np.zeros(0))] * 3
+        with pytest.raises(ValueError):
+            apply_resort(machine4, bad, data, [2, 0, 0, 0], "x")
+
+    def test_charges_resort_phase(self, machine4, rng):
+        counts = [4, 4, 4, 4]
+        origloc, new_counts = scatter_particles(machine4, counts, rng)
+        resort = invert_indices(machine4, origloc, counts, "idx")
+        apply_resort(
+            machine4, resort, [ColumnBlock(x=np.zeros(c)) for c in counts], new_counts, "resort"
+        )
+        assert machine4.trace.get("resort").time > 0

@@ -1,0 +1,82 @@
+"""The adaptive method-selection extension (beyond the paper).
+
+The controller measures per-step redistribution costs online, trials the
+inactive method periodically, switches eagerly when the active method
+degrades, and treats the layout-refresh step of a switch into method B as a
+transient.  The payoff: under heavy drift it avoids most of method A's
+growing cost; under light drift it exploits the fact that right after any B
+step the application holds the solver layout, making method A temporarily
+almost free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def system():
+    return silica_melt_system(4096, seed=4)
+
+
+def run_method(system, method, drift_frac, steps=24, nprocs=32, adapt_every=5):
+    subdomain = float(system.box[0]) / round(nprocs ** (1 / 3))
+    cfg = SimulationConfig(
+        solver="p2nfft",
+        method=method,
+        distribution="grid",
+        dynamics="brownian",
+        brownian_step=drift_frac * subdomain,
+        adapt_every=adapt_every,
+        solver_kwargs={"compute": "skip"},
+        seed=1,
+    )
+    sim = Simulation(Machine(nprocs), system, cfg)
+    sim.run(steps)
+    total = sum(
+        r.phase_time("sort")
+        + r.phase_time("restore")
+        + r.phase_time("resort")
+        + r.phase_time("resort_index")
+        for r in sim.records[1:]
+    )
+    return total, sim
+
+
+class TestAdaptive:
+    def test_starts_with_b(self, system):
+        _, sim = run_method(system, "adaptive", 0.05, steps=1)
+        assert sim.records[1].method == "B"
+
+    def test_trials_both_methods(self, system):
+        _, sim = run_method(system, "adaptive", 0.05, steps=14, adapt_every=3)
+        methods = {r.method for r in sim.records[1:]}
+        assert methods == {"A", "B"}
+
+    def test_beats_pure_a_under_heavy_drift(self, system):
+        tot_a, _ = run_method(system, "A", 0.3)
+        tot_adaptive, sim = run_method(system, "adaptive", 0.3)
+        assert tot_adaptive < tot_a
+        # it must actually have used B epochs to refresh the layout
+        assert sum(r.method == "B" for r in sim.records[1:]) >= 3
+
+    def test_competitive_under_light_drift(self, system):
+        tot_a, _ = run_method(system, "A", 0.01)
+        tot_b, _ = run_method(system, "B", 0.01)
+        tot_adaptive, _ = run_method(system, "adaptive", 0.01)
+        assert tot_adaptive < 1.4 * min(tot_a, tot_b)
+
+    def test_physics_unaffected(self, system):
+        """Adaptive switching must not corrupt particle identities."""
+        _, sim = run_method(system, "adaptive", 0.1, steps=9, adapt_every=2)
+        st = sim.gather_state()
+        np.testing.assert_array_equal(st["ids"], np.arange(system.n))
+
+    def test_fixed_methods_never_adapt(self, system):
+        _, sim = run_method(system, "B", 0.05, steps=6)
+        assert all(r.method == "B" for r in sim.records)
+        _, sim = run_method(system, "A", 0.05, steps=6)
+        assert all(r.method == "A" for r in sim.records)

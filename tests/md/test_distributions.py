@@ -1,0 +1,50 @@
+"""The three initial distributions of Sect. IV-B."""
+
+import numpy as np
+import pytest
+
+from repro.md.distributions import DISTRIBUTIONS, distribute
+from repro.simmpi.cart import CartGrid
+
+
+class TestDistribute:
+    def test_single(self, small_system):
+        pset, vel, owner = distribute(small_system, 4, "single")
+        assert pset.nlocal(0) == small_system.n
+        assert pset.nlocal(1) == 0
+        assert np.all(owner == 0)
+        assert pset.capacities[0] >= small_system.n
+
+    def test_random_covers_all(self, small_system):
+        pset, vel, owner = distribute(small_system, 4, "random", seed=1)
+        assert pset.total() == small_system.n
+        assert len(np.unique(owner)) == 4
+
+    def test_grid_ownership(self, small_system):
+        pset, vel, owner = distribute(small_system, 8, "grid")
+        grid = CartGrid(8, small_system.box, small_system.offset)
+        np.testing.assert_array_equal(
+            owner, grid.rank_of_positions(small_system.pos)
+        )
+        for r in range(8):
+            np.testing.assert_array_equal(grid.rank_of_positions(pset.pos[r]), r)
+
+    def test_velocities_follow(self, small_system):
+        sys2 = small_system
+        pset, vel, owner = distribute(sys2, 4, "random", seed=2)
+        for r in range(4):
+            assert vel[r].shape == pset.pos[r].shape
+
+    def test_data_integrity(self, small_system):
+        """Every particle appears exactly once with its own charge."""
+        pset, vel, owner = distribute(small_system, 4, "random", seed=3)
+        got = np.concatenate(pset.q)
+        expected = np.concatenate([small_system.q[owner == r] for r in range(4)])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_unknown_kind(self, small_system):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            distribute(small_system, 4, "zigzag")
+
+    def test_names_constant(self):
+        assert DISTRIBUTIONS == ("single", "random", "grid")

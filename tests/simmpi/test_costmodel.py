@@ -1,0 +1,89 @@
+"""Cost model arithmetic and monotonicity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.costmodel import JUQUEEN, JUROPA, LOCAL, CostModel
+
+
+class TestMsgTime:
+    def test_intranode_cheaper(self):
+        m = CostModel()
+        assert m.msg_time(0, 1000) < m.msg_time(1, 1000)
+
+    def test_monotone_in_bytes(self):
+        m = CostModel()
+        assert m.msg_time(2, 2000) > m.msg_time(2, 1000)
+
+    def test_monotone_in_hops(self):
+        m = CostModel()
+        assert m.msg_time(5, 100) > m.msg_time(1, 100)
+
+
+class TestBruck:
+    def test_zero_for_one(self):
+        assert CostModel().bruck_alltoall_time(1, 8.0, 0) == 0.0
+
+    def test_grows_superlinearly(self):
+        m = CostModel()
+        t = [m.bruck_alltoall_time(p, 8.0, 4) for p in (64, 1024, 16384)]
+        assert t[0] < t[1] < t[2]
+        # volume term makes large P disproportionately expensive
+        assert t[2] / t[1] > 16384 / 1024 / 4
+
+    def test_rounds_logarithmic(self):
+        m = CostModel(bandwidth=1e30)  # isolate the latency term
+        t64 = m.bruck_alltoall_time(64, 8.0, 0)
+        t4096 = m.bruck_alltoall_time(4096, 8.0, 0)
+        assert t4096 == pytest.approx(2 * t64)
+
+
+class TestAlltoallRankTime:
+    def test_congestion(self):
+        m = CostModel(congestion=4.0)
+        few = m.alltoall_rank_time(np.array([4]), np.array([1e3]), np.array([1e3]), 1.0)
+        many = m.alltoall_rank_time(np.array([256]), np.array([1e3]), np.array([1e3]), 1.0)
+        assert many[0] > 64 * few[0] * 0.5  # superlinear in targets
+
+    def test_zero_targets_free(self):
+        m = CostModel()
+        t = m.alltoall_rank_time(np.array([0]), np.array([0.0]), np.array([0.0]), 1.0)
+        assert t[0] == 0.0
+
+
+class TestTreeCollective:
+    def test_logarithmic_rounds(self):
+        m = CostModel(bandwidth=1e30)
+        assert m.tree_collective_time(256, 8.0, 0) == pytest.approx(
+            2 * m.tree_collective_time(16, 8.0, 0)
+        )
+
+    def test_single_rank_free(self):
+        assert CostModel().tree_collective_time(1, 8.0, 0) == 0.0
+
+
+class TestProfiles:
+    def test_juqueen_slower_cores(self):
+        assert JUQUEEN.cost_model.compute_rate < JUROPA.cost_model.compute_rate
+
+    def test_juqueen_less_congestion(self):
+        # BG/Q hardware messaging: incast degradation far below a
+        # commodity-MPI fat-tree cluster
+        assert JUQUEEN.cost_model.congestion < JUROPA.cost_model.congestion
+
+    def test_topology_factories(self):
+        assert JUROPA.topology(64).name == "fat-tree"
+        assert JUQUEEN.topology(64).name == "torus"
+        assert LOCAL.topology(4).name == "switch"
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e9),
+    st.floats(min_value=0.0, max_value=1e9),
+)
+@settings(max_examples=50, deadline=None)
+def test_copy_time_additive(a, b):
+    m = CostModel()
+    assert m.copy_time(a + b) == pytest.approx(m.copy_time(a) + m.copy_time(b), rel=1e-9)

@@ -1,0 +1,93 @@
+"""Point-to-point primitives: clock semantics of sends and exchanges."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.machine import Machine
+from repro.simmpi.p2p import exchange_pairs, send_round, sendrecv
+
+
+class TestSendrecv:
+    def test_advances_both(self, machine4):
+        sendrecv(machine4, 0, 1, np.zeros(100), "x")
+        assert machine4.clocks[0] > 0
+        assert machine4.clocks[1] > machine4.clocks[0]  # receive completes after send
+        assert machine4.clocks[2] == 0.0
+
+    def test_receiver_waits_for_sender(self, machine4):
+        machine4.clocks[0] = 1.0  # sender is behind schedule? no: ahead
+        sendrecv(machine4, 0, 1, np.zeros(8), "x")
+        assert machine4.clocks[1] > 1.0
+
+    def test_self_send_is_copy(self, machine4):
+        sendrecv(machine4, 2, 2, np.zeros(1000), "x")
+        assert machine4.trace.get("x").messages == 0
+        assert machine4.clocks[2] > 0
+
+    def test_payload_returned(self, machine4):
+        payload = np.arange(4)
+        out = sendrecv(machine4, 0, 1, payload, "x")
+        assert out is payload
+
+
+class TestSendRound:
+    def test_delivery(self, machine4):
+        recv = send_round(
+            machine4,
+            [(0, 1, np.array([1.0])), (2, 1, np.array([2.0])), (3, 0, np.array([3.0]))],
+            "x",
+        )
+        assert [src for src, _ in recv[1]] == [0, 2]
+        assert recv[0][0][0] == 3
+        assert machine4.trace.get("x").messages == 3
+
+    def test_same_source_serializes(self, machine4):
+        send_round(machine4, [(0, 1, np.zeros(8)), (0, 2, np.zeros(8))], "x")
+        one = machine4.clocks[0]
+        m2 = Machine(4)
+        send_round(m2, [(0, 1, np.zeros(8))], "x")
+        assert one > m2.clocks[0]
+
+
+class TestExchangePairs:
+    def test_swap(self, machine4):
+        out = exchange_pairs(
+            machine4, [(0, 1, np.array([10.0]), np.array([20.0]))], "x"
+        )
+        got_at_0, got_at_1 = out[(0, 1)]
+        assert got_at_0[0] == 20.0
+        assert got_at_1[0] == 10.0
+
+    def test_disjointness_enforced(self, machine4):
+        with pytest.raises(ValueError):
+            exchange_pairs(
+                machine4,
+                [
+                    (0, 1, np.zeros(1), np.zeros(1)),
+                    (1, 2, np.zeros(1), np.zeros(1)),
+                ],
+                "x",
+            )
+
+    def test_self_pair_rejected(self, machine4):
+        with pytest.raises(ValueError):
+            exchange_pairs(machine4, [(1, 1, np.zeros(1), np.zeros(1))], "x")
+
+    def test_overlapping_directions(self, machine4):
+        """A symmetric exchange costs about one message time, not two."""
+        exchange_pairs(machine4, [(0, 1, np.zeros(800), np.zeros(800))], "x")
+        t_pair = machine4.elapsed()
+        m2 = Machine(4)
+        sendrecv(m2, 0, 1, np.zeros(800), "x")
+        sendrecv(m2, 1, 0, np.zeros(800), "x")
+        assert t_pair < m2.elapsed()
+
+    def test_counts(self, machine4):
+        exchange_pairs(
+            machine4,
+            [(0, 1, np.zeros(10), np.zeros(20)), (2, 3, np.zeros(5), np.zeros(5))],
+            "x",
+        )
+        st = machine4.trace.get("x")
+        assert st.messages == 4
+        assert st.bytes == (10 + 20 + 5 + 5) * 8

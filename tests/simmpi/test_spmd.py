@@ -1,0 +1,175 @@
+"""SPMD layer: per-rank programs, matching, collectives, deadlocks."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.machine import Machine
+from repro.simmpi.spmd import SPMDDeadlock, run_spmd
+
+
+class TestPointToPoint:
+    def test_ring(self):
+        def ring(ctx, value):
+            nxt = (ctx.rank + 1) % ctx.nprocs
+            prv = (ctx.rank - 1) % ctx.nprocs
+            total = value
+            for _ in range(ctx.nprocs - 1):
+                ctx.send(nxt, value)
+                value = ctx.recv(prv)
+                total += value
+            return total
+
+        m = Machine(4)
+        out = run_spmd(m, ring, [1.0, 2.0, 3.0, 4.0])
+        assert out == [10.0, 10.0, 10.0, 10.0]
+        assert m.elapsed() > 0
+        assert m.trace.get("spmd").messages == 4 * 3
+
+    def test_tag_matching(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "late", tag=2)
+                ctx.send(1, "early", tag=1)
+                return None
+            first = ctx.recv(0, tag=1)
+            second = ctx.recv(0, tag=2)
+            return (first, second)
+
+        out = run_spmd(Machine(2), prog)
+        assert out[1] == ("early", "late")
+
+    def test_wildcard_recv(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                got = {ctx.recv() for _ in range(2)}
+                return got
+            ctx.send(0, ctx.rank)
+            return None
+
+        out = run_spmd(Machine(3), prog)
+        assert out[0] == {1, 2}
+
+    def test_numpy_payload(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, np.arange(5))
+                return None
+            return ctx.recv(0).sum()
+
+        out = run_spmd(Machine(2), prog)
+        assert out[1] == 10
+
+    def test_self_send(self):
+        def prog(ctx):
+            ctx.send(ctx.rank, 42)
+            return ctx.recv(ctx.rank)
+
+        assert run_spmd(Machine(2), prog) == [42, 42]
+
+    def test_sendrecv_exchange(self):
+        def prog(ctx):
+            other = 1 - ctx.rank
+            return ctx.sendrecv(other, ctx.rank * 10, src=other)
+
+        assert run_spmd(Machine(2), prog) == [10, 0]
+
+
+class TestCollectives:
+    def test_barrier_and_allreduce(self):
+        def prog(ctx):
+            ctx.barrier()
+            return ctx.allreduce(ctx.rank + 1, "sum")
+
+        assert run_spmd(Machine(4), prog) == [10.0] * 4
+
+    def test_allreduce_max(self):
+        def prog(ctx):
+            return ctx.allreduce(float(ctx.rank), "max")
+
+        assert run_spmd(Machine(5), prog) == [4.0] * 5
+
+    def test_allgather(self):
+        def prog(ctx):
+            return ctx.allgather(ctx.rank * 2)
+
+        out = run_spmd(Machine(3), prog)
+        assert out == [[0, 2, 4]] * 3
+
+    def test_bcast(self):
+        def prog(ctx):
+            value = "hello" if ctx.rank == 1 else None
+            return ctx.bcast(value, root=1)
+
+        assert run_spmd(Machine(3), prog) == ["hello"] * 3
+
+    def test_repeated_collectives(self):
+        def prog(ctx):
+            return [ctx.allreduce(1.0) for _ in range(5)]
+
+        out = run_spmd(Machine(3), prog)
+        assert out == [[3.0] * 5] * 3
+
+
+class TestFailures:
+    def test_deadlock_detected(self):
+        def prog(ctx):
+            # everyone receives, nobody sends
+            return ctx.recv()
+
+        with pytest.raises(SPMDDeadlock, match="all ranks blocked"):
+            run_spmd(Machine(3), prog)
+
+    def test_mismatched_tags_deadlock(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "x", tag=7)
+                return ctx.recv(1)
+            return ctx.recv(0, tag=9)  # tag never sent
+
+        with pytest.raises(SPMDDeadlock):
+            run_spmd(Machine(2), prog)
+
+    def test_exception_propagates(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                raise RuntimeError("boom")
+            return ctx.rank
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_spmd(Machine(3), prog)
+
+    def test_bad_per_rank_args(self):
+        with pytest.raises(ValueError):
+            run_spmd(Machine(3), lambda ctx, x: x, [1, 2])
+
+
+class TestClockSemantics:
+    def test_recv_waits_for_send(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx._rt.machine.clocks[0] += 1.0  # rank 0 is busy first
+                ctx.send(1, "x")
+                return None
+            ctx.recv(0)
+            return float(ctx._rt.machine.clocks[1])
+
+        out = run_spmd(Machine(2), prog)
+        assert out[1] > 1.0
+
+    def test_odd_even_transposition_sort(self):
+        """A complete parallel algorithm written rank-locally."""
+        def prog(ctx, value):
+            for step in range(ctx.nprocs):
+                if step % 2 == 0:
+                    partner = ctx.rank + 1 if ctx.rank % 2 == 0 else ctx.rank - 1
+                else:
+                    partner = ctx.rank - 1 if ctx.rank % 2 == 0 else ctx.rank + 1
+                if 0 <= partner < ctx.nprocs:
+                    other = ctx.sendrecv(partner, value, src=partner)
+                    value = min(value, other) if ctx.rank < partner else max(value, other)
+            return value
+
+        m = Machine(6)
+        values = [5.0, 2.0, 9.0, 1.0, 7.0, 3.0]
+        out = run_spmd(m, prog, values)
+        assert out == sorted(values)

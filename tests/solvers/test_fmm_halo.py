@@ -1,0 +1,99 @@
+"""FMM halo exchange: completeness and ownership invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.handle import fcs_init
+from repro.core.particles import ColumnBlock, ParticleSet
+from repro.simmpi.machine import Machine
+from repro.sorting.partition_sort import partition_sort
+from repro.zorder.morton import morton_decode3, morton_encode3
+from conftest import random_particle_set
+
+
+@pytest.fixture
+def sorted_state(small_system):
+    """A solver mid-run state: blocks parallel-sorted by Morton key."""
+    P = 6
+    m = Machine(P)
+    pset, _ = random_particle_set(small_system, P, seed=8)
+    fcs = fcs_init("fmm", m, order=3, depth=3, lattice_shells=1)
+    fcs.set_common(small_system.box, periodic=True)
+    fcs.tune(pset)
+    solver = fcs.solver
+    blocks = solver._make_blocks(pset)
+    blocks, _ = solver._sort(blocks, None)
+    return m, solver, blocks
+
+
+class TestOwnership:
+    def test_ranges_cover_all_keys(self, sorted_state):
+        m, solver, blocks = sorted_state
+        rank_ids, min_keys, max_keys = solver._ownership(blocks)
+        for r, b in enumerate(blocks):
+            if b.n == 0:
+                assert r not in rank_ids
+                continue
+            i = list(rank_ids).index(r)
+            assert min_keys[i] == b["key"][0]
+            assert max_keys[i] == b["key"][-1]
+
+    def test_owners_of_keys_finds_all(self, sorted_state):
+        m, solver, blocks = sorted_state
+        ownership = solver._ownership(blocks)
+        # every particle's own key must resolve to (at least) its rank
+        for r, b in enumerate(blocks):
+            if b.n == 0:
+                continue
+            keys = np.unique(b["key"])
+            ki, owners = solver._owners_of_keys(keys, *ownership)
+            found = set(zip(ki.tolist(), owners.tolist()))
+            for i in range(keys.shape[0]):
+                assert any(k == i and o == r for k, o in found)
+
+
+class TestHaloCompleteness:
+    def test_every_neighbor_box_particle_present(self, sorted_state):
+        """After the halo exchange, each rank holds a copy of every particle
+        located in a box adjacent (incl. wrapped) to one of its boxes."""
+        m, solver, blocks = sorted_state
+        ownership = solver._ownership(blocks)
+        halo = solver._halo_exchange(blocks, ownership)
+        nside = solver.tree.nside_leaf
+
+        # global registry: box key -> particle position multiset
+        all_keys = np.concatenate([b["key"] for b in blocks])
+        all_pos = np.concatenate([b["pos"] for b in blocks])
+
+        for r, b in enumerate(blocks):
+            if b.n == 0:
+                continue
+            local_pos = np.concatenate([b["pos"], halo[r]["pos"]]) if halo[r].n else b["pos"]
+            local_keys = np.concatenate([b["key"], halo[r]["key"]]) if halo[r].n else b["key"]
+            boxes = np.unique(b["key"])
+            bx, by, bz = (c.astype(np.int64) for c in morton_decode3(boxes))
+            needed = set()
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for dz in (-1, 0, 1):
+                        nk = morton_encode3(
+                            (bx + dx) % nside, (by + dy) % nside, (bz + dz) % nside
+                        )
+                        needed.update(nk.tolist())
+            for key in needed:
+                global_count = int((all_keys == key).sum())
+                local_count = int((local_keys == key).sum())
+                assert local_count == global_count, (r, key)
+
+    def test_halo_excludes_self(self, sorted_state):
+        """Halo copies never come from the receiving rank itself."""
+        m, solver, blocks = sorted_state
+        ownership = solver._ownership(blocks)
+        halo = solver._halo_exchange(blocks, ownership)
+        for r in range(m.nprocs):
+            if halo[r].n == 0 or blocks[r].n == 0:
+                continue
+            # no halo particle position duplicates an owned one
+            own = {tuple(np.round(p * 1e9).astype(np.int64)) for p in blocks[r]["pos"]}
+            hal = [tuple(np.round(p * 1e9).astype(np.int64)) for p in halo[r]["pos"]]
+            assert not own.intersection(hal)

@@ -1,0 +1,134 @@
+"""P2NFFT mesh machinery: CIC, influence function, self-interaction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers.p2nfft.mesh import MeshSolver, cic_fractions
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return MeshSolver(24, np.array([10.0, 10.0, 10.0]), np.zeros(3), alpha=1.0)
+
+
+class TestCIC:
+    def test_fractions(self):
+        base, frac = cic_fractions(
+            np.array([[2.6, 0.1, 9.9]]), np.zeros(3), np.full(3, 0.5), 20
+        )
+        np.testing.assert_array_equal(base[0], [5, 0, 19])
+        np.testing.assert_allclose(frac[0], [0.2, 0.2, 0.8])
+
+    def test_assign_conserves_charge(self, mesh, rng):
+        pos = rng.uniform(0, 10, (50, 3))
+        q = rng.uniform(-1, 1, 50)
+        rho = mesh.assign(pos, q)
+        assert rho.sum() == pytest.approx(q.sum())
+
+    def test_assign_on_node_single_cell(self, mesh):
+        # a particle exactly on a mesh node loads only that node
+        h = mesh.h[0]
+        rho = mesh.assign(np.array([[2 * h, 3 * h, 4 * h]]), np.array([1.0]))
+        assert rho[2, 3, 4] == pytest.approx(1.0)
+        assert np.count_nonzero(rho) == 1
+
+    def test_interpolate_inverse_of_assign_at_nodes(self, mesh):
+        h = mesh.h
+        grid = np.zeros((mesh.M,) * 3)
+        grid[5, 6, 7] = 2.5
+        val = mesh.interpolate(grid, np.array([[5 * h[0], 6 * h[1], 7 * h[2]]]))
+        assert val[0] == pytest.approx(2.5)
+
+    def test_periodic_wrap(self, mesh):
+        rho1 = mesh.assign(np.array([[9.99, 5.0, 5.0]]), np.array([1.0]))
+        rho2 = mesh.assign(np.array([[-0.01, 5.0, 5.0]]), np.array([1.0]))
+        np.testing.assert_allclose(rho1, rho2, atol=1e-12)
+
+    def test_empty(self, mesh):
+        assert mesh.assign(np.zeros((0, 3)), np.zeros(0)).sum() == 0.0
+        assert mesh.interpolate(np.zeros((24,) * 3), np.zeros((0, 3))).shape == (0,)
+
+
+class TestSelfInteraction:
+    def test_exact_reproduction(self, mesh, rng):
+        """mesh_self_interaction predicts a single particle's own-cloud
+        contribution exactly."""
+        for _ in range(5):
+            x = rng.uniform(0, 10, (1, 3))
+            q = np.array([1.0])
+            pot_raw, field_raw = mesh.kspace(x, q, x, correct_self=False)
+            sp, sf = mesh.mesh_self_interaction(x, q)
+            assert pot_raw[0] == pytest.approx(sp[0], rel=1e-12)
+            np.testing.assert_allclose(field_raw[0], sf[0], atol=1e-12)
+
+    def test_corrected_single_particle_potential(self, mesh):
+        """After correction a lone particle sees exactly its own periodic
+        images: psi0 - 2 alpha / sqrt(pi)."""
+        x = np.array([[3.3, 7.7, 1.2]])
+        q = np.array([1.0])
+        pot, field = mesh.kspace(x, q, x, correct_self=True)
+        expected = mesh.psi0 - 2.0 * mesh.alpha / math.sqrt(math.pi)
+        assert pot[0] == pytest.approx(expected, rel=1e-12)
+        np.testing.assert_allclose(field[0], 0.0, atol=1e-12)
+
+    def test_psi0_alpha_dependence(self):
+        box = np.array([10.0, 10.0, 10.0])
+        m1 = MeshSolver(16, box, np.zeros(3), alpha=0.8)
+        m2 = MeshSolver(16, box, np.zeros(3), alpha=1.2)
+        assert m1.psi0 != pytest.approx(m2.psi0)
+
+
+class TestKSpaceAccuracy:
+    def exact_kspace(self, pos, q, L, alpha, kmax=16):
+        ms = np.arange(-kmax, kmax + 1)
+        mx, my, mz = np.meshgrid(ms, ms, ms, indexing="ij")
+        mv = np.stack([mx.ravel(), my.ravel(), mz.ravel()], 1)
+        mv = mv[np.any(mv != 0, 1)]
+        kv = 2 * np.pi * mv / L
+        k2 = (kv * kv).sum(1)
+        g = 4 * np.pi / L ** 3 * np.exp(-k2 / (4 * alpha ** 2)) / k2
+        pot = np.zeros(pos.shape[0])
+        for s in range(0, kv.shape[0], 2048):
+            kvc, gc = kv[s:s + 2048], g[s:s + 2048]
+            ph = pos @ kvc.T
+            c, sn = np.cos(ph), np.sin(ph)
+            pot += c @ (gc * (q @ c)) + sn @ (gc * (q @ sn))
+        return pot - 2 * alpha / math.sqrt(math.pi) * q
+
+    def test_converges_with_mesh(self, rng):
+        L = 10.0
+        n = 60
+        pos = rng.uniform(0, L, (n, 3))
+        q = np.ones(n)
+        q[n // 2:] = -1
+        exact = self.exact_kspace(pos, q, L, 1.0)
+        errs = []
+        for M in (16, 32):
+            mesh = MeshSolver(M, np.full(3, L), np.zeros(3), 1.0)
+            pm, _ = mesh.kspace(pos, q, pos)
+            errs.append(np.sqrt(((pm - exact) ** 2).mean()))
+        assert errs[1] < errs[0] / 2.5
+        assert errs[1] < 6e-3
+
+    def test_pair_kernel_accuracy(self):
+        """The effective mesh pair interaction matches the exact k-space
+        kernel to ~1e-4 at moderate resolution (optimal influence)."""
+        L = 10.0
+        mesh = MeshSolver(32, np.full(3, L), np.zeros(3), 1.0)
+        rng = np.random.default_rng(7)
+        for _ in range(4):
+            x1 = rng.uniform(0, L, 3)
+            x2 = (x1 + rng.uniform(-L / 2, L / 2, 3)) % L
+            pos = np.stack([x1, x2])
+            q = np.array([1.0, 0.0])
+            pm, _ = mesh.kspace(pos, q, pos, correct_self=False)
+            exact = self.exact_kspace(pos, np.array([1.0, 0.0]), L, 1.0, kmax=18)
+            # compare the potential induced at the passive test particle
+            exact_pair = exact[1] - 0.0  # q2 = 0: no self part
+            assert pm[1] == pytest.approx(exact_pair, abs=5e-4)
+
+    def test_mesh_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            MeshSolver(2, np.full(3, 10.0), np.zeros(3), 1.0)

@@ -1,0 +1,147 @@
+"""Ragged pair generation and pairwise kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.common.pairs import coulomb_pairs, erfc_pairs, ragged_cross, segment_starts
+
+
+class TestRaggedCross:
+    def test_simple(self):
+        ti, si = ragged_cross([0], [2], [5], [7])
+        np.testing.assert_array_equal(ti, [0, 0, 1, 1])
+        np.testing.assert_array_equal(si, [5, 6, 5, 6])
+
+    def test_empty_segments_skipped(self):
+        ti, si = ragged_cross([0, 2], [2, 2], [0, 0], [1, 5])
+        np.testing.assert_array_equal(ti, [0, 1])
+        np.testing.assert_array_equal(si, [0, 0])
+
+    def test_all_empty(self):
+        ti, si = ragged_cross([0], [0], [0], [5])
+        assert ti.size == 0 and si.size == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_counts(self, seg_sizes):
+        # build consecutive target and source segments
+        t_starts, t_ends, s_starts, s_ends = [], [], [], []
+        toff = soff = 0
+        for nt, ns in seg_sizes:
+            t_starts.append(toff)
+            t_ends.append(toff + nt)
+            s_starts.append(soff)
+            s_ends.append(soff + ns)
+            toff += nt
+            soff += ns
+        ti, si = ragged_cross(t_starts, t_ends, s_starts, s_ends)
+        assert ti.shape[0] == sum(nt * ns for nt, ns in seg_sizes)
+        # every pair index within its segment bounds
+        for k in range(ti.shape[0]):
+            seg = next(
+                i for i in range(len(seg_sizes))
+                if t_starts[i] <= ti[k] < t_ends[i]
+            )
+            assert s_starts[seg] <= si[k] < s_ends[seg]
+
+
+def test_segment_starts():
+    ids = np.array([0, 0, 2, 2, 2, 3])
+    starts = segment_starts(ids, 4)
+    np.testing.assert_array_equal(starts, [0, 2, 2, 5, 6])
+
+
+class TestCoulombPairs:
+    def test_two_charges(self):
+        tpos = np.array([[0.0, 0.0, 0.0]])
+        spos = np.array([[2.0, 0.0, 0.0]])
+        q = np.array([3.0])
+        pot, field, cnt = coulomb_pairs(tpos, spos, q, np.array([0]), np.array([0]))
+        assert cnt == 1
+        assert pot[0] == pytest.approx(1.5)  # 3/2
+        np.testing.assert_allclose(field[0], [-0.75, 0, 0])  # 3*(-2)/8
+
+    def test_self_pair_skipped(self):
+        p = np.zeros((1, 3))
+        pot, field, cnt = coulomb_pairs(p, p, np.ones(1), np.array([0]), np.array([0]))
+        assert cnt == 0
+        assert pot[0] == 0.0
+
+    def test_cutoff(self):
+        tpos = np.zeros((1, 3))
+        spos = np.array([[3.0, 0, 0], [1.0, 0, 0]])
+        q = np.ones(2)
+        ti = np.array([0, 0])
+        si = np.array([0, 1])
+        pot, _, cnt = coulomb_pairs(tpos, spos, q, ti, si, cutoff=2.0)
+        assert cnt == 1
+        assert pot[0] == pytest.approx(1.0)
+
+    def test_minimum_image(self):
+        box = np.array([10.0, 10.0, 10.0])
+        tpos = np.array([[0.5, 0, 0]])
+        spos = np.array([[9.5, 0, 0]])
+        pot, field, _ = coulomb_pairs(
+            tpos, spos, np.ones(1), np.array([0]), np.array([0]), box=box
+        )
+        assert pot[0] == pytest.approx(1.0)  # distance 1 across the boundary
+        assert field[0][0] == pytest.approx(1.0)  # source sits at -1 in image
+
+
+class TestErfcPairs:
+    def test_matches_scipy(self):
+        from scipy.special import erfc as sp_erfc
+
+        tpos = np.zeros((1, 3))
+        spos = np.array([[1.5, 0, 0]])
+        alpha = 0.8
+        pot, field, cnt = erfc_pairs(
+            tpos, spos, np.array([2.0]), np.array([0]), np.array([0]), alpha, 4.0
+        )
+        assert pot[0] == pytest.approx(2.0 * sp_erfc(alpha * 1.5) / 1.5)
+        assert cnt == 1
+
+    def test_field_is_gradient(self):
+        rng = np.random.default_rng(0)
+        spos = rng.uniform(-1, 1, (5, 3)) + 3.0
+        q = rng.uniform(-1, 1, 5)
+        alpha, rc = 0.7, 50.0
+        x = np.zeros((1, 3))
+        h = 1e-6
+
+        def phi(p):
+            pot, _, _ = erfc_pairs(
+                p, spos, q, np.zeros(5, dtype=int), np.arange(5), alpha, rc
+            )
+            return pot[0]
+
+        pot, field, _ = erfc_pairs(
+            x, spos, q, np.zeros(5, dtype=int), np.arange(5), alpha, rc
+        )
+        for d in range(3):
+            xp = x.copy()
+            xp[0, d] += h
+            xm = x.copy()
+            xm[0, d] -= h
+            grad = (phi(xp) - phi(xm)) / (2 * h)
+            assert field[0, d] == pytest.approx(-grad, rel=1e-5, abs=1e-8)
+
+    def test_beyond_cutoff_zero(self):
+        pot, field, cnt = erfc_pairs(
+            np.zeros((1, 3)),
+            np.array([[5.0, 0, 0]]),
+            np.ones(1),
+            np.array([0]),
+            np.array([0]),
+            1.0,
+            2.0,
+        )
+        assert cnt == 0 and pot[0] == 0.0

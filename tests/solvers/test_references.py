@@ -1,0 +1,110 @@
+"""Reference solvers: direct summation and Ewald (incl. Madelung constant)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.direct import direct_energy, direct_sum
+from repro.solvers.ewald_ref import ewald_energy, ewald_sum, suggest_alpha
+
+
+class TestDirect:
+    def test_two_charges(self):
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        q = np.array([1.0, -1.0])
+        pot, field = direct_sum(pos, q)
+        assert pot[0] == pytest.approx(-0.5)
+        assert pot[1] == pytest.approx(0.5)
+        # attraction: field at particle 0 points toward particle 1
+        assert field[0, 0] == pytest.approx(0.25)
+        assert direct_energy(pos, q) == pytest.approx(-0.5)
+
+    def test_newtons_third_law(self, rng):
+        pos = rng.uniform(0, 5, (30, 3))
+        q = rng.uniform(-1, 1, 30)
+        _, field = direct_sum(pos, q)
+        force = q[:, None] * field
+        np.testing.assert_allclose(force.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_chunking_invariant(self, rng):
+        pos = rng.uniform(0, 5, (50, 3))
+        q = rng.uniform(-1, 1, 50)
+        p1, f1 = direct_sum(pos, q, chunk=7)
+        p2, f2 = direct_sum(pos, q, chunk=1000)
+        np.testing.assert_allclose(p1, p2)
+        np.testing.assert_allclose(f1, f2)
+
+    def test_minimum_image(self):
+        box = np.array([10.0, 10.0, 10.0])
+        pos = np.array([[0.5, 5, 5], [9.5, 5, 5]])
+        q = np.array([1.0, 1.0])
+        pot, _ = direct_sum(pos, q, box=box)
+        assert pot[0] == pytest.approx(1.0)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            direct_sum(np.zeros((3, 2)), np.zeros(3))
+
+
+class TestEwald:
+    def test_alpha_independence(self, rng):
+        n = 20
+        box = np.array([6.0, 6.0, 6.0])
+        pos = rng.uniform(0, 6, (n, 3))
+        q = np.ones(n)
+        q[n // 2:] = -1
+        # both alphas fully converged (erfc(alpha * L/2) ~ 1e-7 and smaller)
+        e1 = ewald_energy(pos, q, box, alpha=1.25, kmax=16)
+        e2 = ewald_energy(pos, q, box, alpha=1.6, kmax=20)
+        assert e1 == pytest.approx(e2, rel=1e-6)
+
+    def test_field_is_negative_gradient(self, rng):
+        n = 8
+        box = np.array([5.0, 5.0, 5.0])
+        pos = rng.uniform(0, 5, (n, 3))
+        q = np.ones(n)
+        q[n // 2:] = -1
+        pot, field = ewald_sum(pos, q, box, alpha=1.2, kmax=12)
+        h = 1e-5
+        for d in range(3):
+            pp = pos.copy()
+            pp[0, d] += h
+            pm = pos.copy()
+            pm[0, d] -= h
+            pot_p, _ = ewald_sum(pp, q, box, alpha=1.2, kmax=12)
+            pot_m, _ = ewald_sum(pm, q, box, alpha=1.2, kmax=12)
+            grad = (pot_p[0] - pot_m[0]) / (2 * h)
+            assert field[0, d] == pytest.approx(-grad, rel=1e-4, abs=1e-7)
+
+    def test_madelung_nacl(self):
+        """The NaCl Madelung constant: phi at each ion = -1.7476 q / a."""
+        m = 4  # 4x4x4 unit cells of the rock-salt lattice
+        a = 1.0  # nearest-neighbor distance
+        coords = np.array(
+            [(i, j, k) for i in range(m) for j in range(m) for k in range(m)],
+            dtype=np.float64,
+        )
+        q = np.where(coords.sum(axis=1) % 2 == 0, 1.0, -1.0)
+        box = np.array([m * a] * 3)
+        pot, _ = ewald_sum(coords * a, q, box, accuracy=1e-10)
+        madelung = pot * q  # q_i phi_i / (q^2/a)
+        np.testing.assert_allclose(madelung, -1.747564594633, rtol=1e-8)
+
+    def test_wigner_bcc_vs_known(self):
+        """Single charge + background: the Wigner self potential of a
+        simple cubic lattice is -2.8372975 / L (known Madelung-type value)."""
+        box = np.array([1.0, 1.0, 1.0])
+        pot, _ = ewald_sum(np.zeros((1, 3)), np.ones(1), box, accuracy=1e-10)
+        assert pot[0] == pytest.approx(-2.837297479, rel=1e-7)
+
+    def test_suggest_alpha_positive(self):
+        assert suggest_alpha(np.array([5.0, 5.0, 5.0]), 100) > 0
+
+    def test_momentum_conservation(self, rng):
+        n = 16
+        box = np.array([7.0, 7.0, 7.0])
+        pos = rng.uniform(0, 7, (n, 3))
+        q = np.ones(n)
+        q[n // 2:] = -1
+        _, field = ewald_sum(pos, q, box, accuracy=1e-9)
+        force = q[:, None] * field
+        np.testing.assert_allclose(force.sum(axis=0), 0.0, atol=1e-8)

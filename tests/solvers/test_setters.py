@@ -1,0 +1,80 @@
+"""Solver-specific setter functions and the machine imbalance diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.core.handle import fcs_init
+from repro.md.distributions import distribute
+from repro.simmpi.machine import Machine
+from conftest import random_particle_set
+
+
+class TestFMMSetters:
+    def test_set_order_depth(self, small_system):
+        m = Machine(2)
+        fcs = fcs_init("fmm", m, lattice_shells=1)
+        fcs.solver.set_order(3)
+        fcs.solver.set_depth(3)
+        fcs.set_common(small_system.box, periodic=True)
+        pset, _ = random_particle_set(small_system, 2)
+        fcs.tune(pset)
+        assert fcs.solver.tree.p == 3
+        assert fcs.solver.tree.depth == 3
+
+    def test_invalid_order(self, small_system):
+        m = Machine(2)
+        fcs = fcs_init("fmm", m)
+        with pytest.raises(ValueError):
+            fcs.solver.set_order(1)
+
+
+class TestP2NFFTSetters:
+    def test_set_cutoff_alpha_mesh(self, small_system):
+        m = Machine(2)
+        fcs = fcs_init("p2nfft", m)
+        fcs.solver.set_cutoff(3.0)
+        fcs.solver.set_alpha(0.9)
+        fcs.solver.set_mesh_size(16)
+        fcs.set_common(small_system.box, periodic=True)
+        pset, _ = random_particle_set(small_system, 2)
+        fcs.tune(pset)
+        assert fcs.solver.rc == 3.0
+        assert fcs.solver.alpha == 0.9
+        assert fcs.solver.mesh_size == 16
+
+    @pytest.mark.parametrize("setter,value", [("set_cutoff", -1.0), ("set_alpha", 0.0), ("set_mesh_size", 2)])
+    def test_invalid(self, setter, value):
+        fcs = fcs_init("p2nfft", Machine(2))
+        with pytest.raises(ValueError):
+            getattr(fcs.solver, setter)(value)
+
+
+class TestImbalance:
+    def test_balanced(self):
+        m = Machine(4)
+        m.compute(np.ones(4), "x")
+        assert m.imbalance() == pytest.approx(0.0)
+
+    def test_single_hot_rank(self):
+        m = Machine(4)
+        m.compute(np.array([4.0, 0.0, 0.0, 0.0]), "x")
+        assert m.imbalance() == pytest.approx(3.0)
+
+    def test_zero_clocks(self):
+        assert Machine(4).imbalance() == 0.0
+
+    def test_single_distribution_drives_imbalance(self, small_system):
+        """Fig. 6's single-process distribution leaves one rank hot."""
+        m_single = Machine(4)
+        pset, _, _ = distribute(small_system, 4, "single")
+        fcs = fcs_init("p2nfft", m_single, cutoff=3.0, compute="skip")
+        fcs.set_common(small_system.box, periodic=True)
+        fcs.tune(pset)
+        fcs.run(pset)
+        m_grid = Machine(4)
+        pset2, _, _ = distribute(small_system, 4, "grid")
+        fcs2 = fcs_init("p2nfft", m_grid, cutoff=3.0, compute="skip")
+        fcs2.set_common(small_system.box, periodic=True)
+        fcs2.tune(pset2)
+        fcs2.run(pset2)
+        assert m_single.imbalance() >= m_grid.imbalance()

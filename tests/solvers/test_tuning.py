@@ -1,0 +1,110 @@
+"""Model-driven parameter tuning for both solvers."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.fmm.tuning import (
+    TuningPlan,
+    choose_depth,
+    choose_order,
+    optimal_occupancy,
+    plan_parameters,
+    predict_cost,
+)
+from repro.solvers.p2nfft.tuning import (
+    optimize_cutoff,
+    suggest_cutoff,
+    tune_ewald_splitting,
+)
+
+
+class TestFMMOrder:
+    def test_monotone_in_accuracy(self):
+        assert choose_order(1e-2) <= choose_order(1e-4) <= choose_order(1e-8)
+
+    def test_bounds(self):
+        assert choose_order(0.5) >= 2
+        assert choose_order(1e-30) <= 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            choose_order(0.0)
+
+
+class TestFMMDepth:
+    def test_grows_with_n(self):
+        assert choose_depth(10 ** 3, 5, True) <= choose_depth(10 ** 6, 5, True)
+
+    def test_periodic_minimum(self):
+        assert choose_depth(10, 3, periodic=True) >= 3
+        assert choose_depth(10, 3, periodic=False) >= 2
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            choose_depth(0, 3, True)
+
+    def test_occupancy_positive(self):
+        assert optimal_occupancy(4) > 1.0
+
+
+class TestFMMPlan:
+    def test_plan_minimizes_predicted_cost(self):
+        plan = plan_parameters(50_000, 1e-3, periodic=True)
+        assert isinstance(plan, TuningPlan)
+        for cost, depth in plan.candidates:
+            assert plan.predicted_cost <= cost
+
+    def test_deeper_for_more_particles(self):
+        small = plan_parameters(2_000, 1e-3, True)
+        big = plan_parameters(2_000_000, 1e-3, True)
+        assert big.depth >= small.depth
+
+    def test_predict_cost_tradeoff(self):
+        """Too-shallow trees pay near-field, too-deep trees pay far-field."""
+        n = 340_000
+        costs = [predict_cost(n, 5, d, True) for d in (3, 4, 5, 6)]
+        best = int(np.argmin(costs))
+        assert 0 < best < 3  # interior optimum
+
+
+class TestP2NFFTTuning:
+    box = np.full(3, 33.26)
+
+    def test_splitting_monotone(self):
+        a1, m1 = tune_ewald_splitting(self.box, 4.0, 1e-3)
+        a2, m2 = tune_ewald_splitting(self.box, 4.0, 1e-5)
+        assert a2 > a1 and m2 > m1
+
+    def test_splitting_cutoff_dependence(self):
+        a_small, _ = tune_ewald_splitting(self.box, 2.0, 1e-3)
+        a_big, _ = tune_ewald_splitting(self.box, 6.0, 1e-3)
+        assert a_small > a_big  # smaller cutoff needs sharper screening
+
+    def test_optimize_cutoff_in_range(self):
+        rc = optimize_cutoff(self.box, 2000, 1e-3)
+        assert 0 < rc <= 0.5 * self.box.min()
+
+    def test_optimize_beats_endpoints(self):
+        """The optimizer's cutoff costs no more than the extreme choices."""
+        from repro import kernels
+
+        n = 2000
+        rho = n / float(np.prod(self.box))
+
+        def model_cost(rc):
+            alpha, M = tune_ewald_splitting(self.box, rc, 1e-3)
+            near = n * rho * (4 / 3) * np.pi * rc ** 3 * kernels.ERFC_PAIR
+            mesh = (
+                n * 5 * kernels.MESH_ASSIGNMENT
+                + 5 * M ** 3 * 3 * np.log2(M) * kernels.FFT_POINT_STAGE
+            )
+            return near + mesh
+
+        rc_opt = optimize_cutoff(self.box, n, 1e-3)
+        for rc in (2.0, 0.5 * self.box.min() * 0.99):
+            assert model_cost(rc_opt) <= model_cost(rc) * 1.01
+
+    def test_density_scaling_of_suggest(self):
+        dense = suggest_cutoff(self.box, 20_000)
+        sparse = suggest_cutoff(self.box, 200)
+        assert dense < sparse

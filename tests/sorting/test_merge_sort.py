@@ -1,0 +1,159 @@
+"""Merge-based parallel sorting: correctness + almost-sorted efficiency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.particles import ColumnBlock
+from repro.simmpi.machine import Machine
+from repro.sorting.merge_sort import merge_exchange_sort
+
+
+def make_blocks(machine, keys_per_rank, payload_factor=2.0):
+    blocks = []
+    for keys in keys_per_rank:
+        keys = np.asarray(keys, dtype=np.uint64)
+        blocks.append(
+            ColumnBlock(key=keys, val=keys.astype(np.float64) * payload_factor)
+        )
+    return blocks
+
+
+def check_sorted(blocks, counts):
+    last = None
+    for i, b in enumerate(blocks):
+        assert b.n == counts[i], "counts must be preserved"
+        keys = b["key"]
+        assert np.all(keys[:-1] <= keys[1:]), "locally sorted"
+        np.testing.assert_allclose(b["val"], keys.astype(np.float64) * 2.0)
+        if keys.shape[0]:
+            if last is not None:
+                assert last <= keys[0], "globally partitioned"
+            last = keys[-1]
+
+
+class TestCorrectness:
+    def test_random(self, rng):
+        P = 8
+        m = Machine(P)
+        keys = [rng.integers(0, 1000, 50) for _ in range(P)]
+        blocks = make_blocks(m, keys)
+        out, ok = merge_exchange_sort(m, blocks, "key", "s")
+        check_sorted(out, [50] * P)
+        all_in = np.sort(np.concatenate(keys))
+        all_out = np.sort(np.concatenate([b["key"] for b in out]))
+        np.testing.assert_array_equal(all_in.astype(np.uint64), all_out)
+
+    def test_unequal_counts(self, rng):
+        P = 5
+        m = Machine(P)
+        counts = [3, 40, 0, 17, 8]
+        keys = [rng.integers(0, 100, c) for c in counts]
+        out, ok = merge_exchange_sort(m, make_blocks(m, keys), "key", "s")
+        for b, c in zip(out, counts):
+            assert b.n == c
+
+    def test_single_rank(self, rng):
+        m = Machine(1)
+        keys = [rng.integers(0, 100, 20)]
+        out, ok = merge_exchange_sort(m, make_blocks(m, keys), "key", "s")
+        assert np.all(np.diff(out[0]["key"].astype(np.int64)) >= 0)
+
+    def test_already_sorted_noop_data(self):
+        P = 4
+        m = Machine(P)
+        keys = [np.arange(r * 10, r * 10 + 10, dtype=np.uint64) for r in range(P)]
+        out, ok = merge_exchange_sort(m, make_blocks(m, keys), "key", "s", presorted=True)
+        for r in range(P):
+            np.testing.assert_array_equal(out[r]["key"], keys[r])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 10 ** 6), min_size=0, max_size=30),
+            min_size=2,
+            max_size=9,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_sorted_permutation(self, keys_per_rank):
+        P = len(keys_per_rank)
+        m = Machine(P)
+        blocks = make_blocks(m, keys_per_rank)
+        out, ok = merge_exchange_sort(m, blocks, "key", "s")
+        # the network guarantees global order only for equal-size blocks;
+        # the verification flag must be truthful either way
+        globally_sorted = True
+        last = None
+        for b, k in zip(out, keys_per_rank):
+            assert b.n == len(k), "counts preserved"
+            keys = b["key"]
+            assert np.all(keys[:-1] <= keys[1:]), "locally sorted"
+            np.testing.assert_allclose(b["val"], keys.astype(np.float64) * 2.0)
+            if keys.shape[0]:
+                if last is not None and last > keys[0]:
+                    globally_sorted = False
+                last = keys[-1]
+        assert ok == globally_sorted
+        all_in = np.sort(np.concatenate([np.asarray(k, dtype=np.uint64) for k in keys_per_rank]))
+        all_out = np.sort(np.concatenate([b["key"] for b in out])) if P else all_in
+        np.testing.assert_array_equal(all_in, all_out)
+
+    def test_equal_counts_always_sorted(self, rng):
+        """The classical guarantee: equal block sizes always sort."""
+        for trial in range(30):
+            P = int(rng.integers(2, 10))
+            keys = [rng.integers(0, 30, 6) for _ in range(P)]
+            m = Machine(P)
+            out, ok = merge_exchange_sort(m, make_blocks(m, keys), "key", "s")
+            assert ok
+            check_sorted(out, [6] * P)
+
+
+class TestAlmostSortedEfficiency:
+    def test_sorted_input_moves_no_particle_data(self, rng):
+        """Already ordered pairs exchange only control messages."""
+        P = 8
+        per = 100
+        m = Machine(P)
+        base = np.sort(rng.integers(0, 10 ** 6, P * per).astype(np.uint64))
+        keys = [base[r * per:(r + 1) * per] for r in range(P)]
+        merge_exchange_sort(m, make_blocks(m, keys), "key", "s", verify=False)
+        st_ = m.trace.get("s")
+        # only 24-byte control messages were exchanged
+        rounds_msgs = st_.messages
+        assert st_.bytes == rounds_msgs * 24
+
+    def test_almost_sorted_cheaper_than_random(self, rng):
+        P = 8
+        per = 200
+        base = np.sort(rng.integers(0, 10 ** 6, P * per).astype(np.uint64))
+        # almost sorted: a few local perturbations
+        almost = base.copy()
+        idx = rng.choice(P * per, 20, replace=False)
+        almost[idx] = almost[idx] + 5
+
+        m1 = Machine(P)
+        merge_exchange_sort(
+            m1, make_blocks(m1, [almost[r * per:(r + 1) * per] for r in range(P)]), "key", "s",
+            verify=False,
+        )
+        m2 = Machine(P)
+        shuffled = rng.permutation(base)
+        merge_exchange_sort(
+            m2, make_blocks(m2, [shuffled[r * per:(r + 1) * per] for r in range(P)]), "key", "s",
+            verify=False,
+        )
+        assert m1.trace.get("s").bytes < m2.trace.get("s").bytes / 5
+        assert m1.elapsed() < m2.elapsed()
+
+    def test_uses_no_collectives(self, rng):
+        """Merge sort is pure point-to-point: message count is bounded by
+        2 messages per comparator plus window exchanges."""
+        P = 16
+        m = Machine(P)
+        keys = [rng.integers(0, 1000, 30) for _ in range(P)]
+        merge_exchange_sort(m, make_blocks(m, keys), "key", "s", verify=False)
+        from repro.sorting.batcher import comparator_count
+
+        assert m.trace.get("s").messages <= 4 * comparator_count(P)
