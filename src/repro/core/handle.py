@@ -148,6 +148,13 @@ class FCS:
 
     # -- method B support --------------------------------------------------------------
 
+    @property
+    def last_report(self) -> Optional[RunReport]:
+        """The :class:`RunReport` of the most recent :meth:`run` (``None``
+        before any run) — exposed for the verification subsystem's
+        resort-index invariants."""
+        return self._last_report
+
     def resort_availability(self) -> bool:
         """Whether the last run returned the changed (solver-specific)
         particle order and distribution, i.e. whether resort indices exist.

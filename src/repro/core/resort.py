@@ -30,6 +30,8 @@ from repro.simmpi.machine import Machine
 
 __all__ = [
     "RESORT_POS_BITS",
+    "RANK_LIMIT",
+    "POSITION_LIMIT",
     "GHOST_INDEX",
     "pack_resort_index",
     "unpack_resort_index",
@@ -42,6 +44,15 @@ __all__ = [
 RESORT_POS_BITS = 32
 _POS_MASK = (1 << RESORT_POS_BITS) - 1
 
+#: exclusive upper bound on packable ranks.  Positions get the full 32 bits,
+#: but ranks only 31: the packed value lives in a *signed* int64 whose sign
+#: bit is reserved for :data:`GHOST_INDEX`, so a rank with bit 31 set would
+#: shift into the sign bit and collide with the ghost marker.
+RANK_LIMIT = 1 << (63 - RESORT_POS_BITS)
+
+#: exclusive upper bound on packable positions
+POSITION_LIMIT = 1 << RESORT_POS_BITS
+
 #: invalid index value marking ghost-particle duplicates
 GHOST_INDEX = np.int64(-1)
 
@@ -50,10 +61,10 @@ def pack_resort_index(ranks: np.ndarray, positions: np.ndarray) -> np.ndarray:
     """Pack (rank, position) pairs into int64 index values."""
     ranks = np.asarray(ranks, dtype=np.int64)
     positions = np.asarray(positions, dtype=np.int64)
-    if np.any(ranks < 0) or np.any(ranks > _POS_MASK):
-        raise ValueError("ranks out of 32-bit range")
-    if np.any(positions < 0) or np.any(positions > _POS_MASK):
-        raise ValueError("positions out of 32-bit range")
+    if np.any(ranks < 0) or np.any(ranks >= RANK_LIMIT):
+        raise ValueError(f"ranks out of range [0, {RANK_LIMIT})")
+    if np.any(positions < 0) or np.any(positions >= POSITION_LIMIT):
+        raise ValueError(f"positions out of range [0, {POSITION_LIMIT})")
     return (ranks << RESORT_POS_BITS) | positions
 
 

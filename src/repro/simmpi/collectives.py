@@ -158,6 +158,8 @@ def alltoallv(
     """
     if len(sends) != machine.nprocs:
         raise ValueError(f"sends has {len(sends)} entries, machine has {machine.nprocs} ranks")
+    if machine.auditor is not None:
+        machine.auditor.observe_alltoallv(sends, phase, count_exchange)
     _charge_alltoall(machine, sends, phase, count_exchange)
     return _deliver(sends, machine.nprocs)
 
@@ -197,6 +199,10 @@ def allgatherv(
     t = machine.model.tree_collective_time(P, 0.0, machine.topology.diameter())
     t += (P - 1) / max(P, 1) * total_bytes / machine.model.bandwidth if P > 1 else 0.0
     t += float(machine.model.copy_time(total_bytes))
+    if machine.auditor is not None:
+        machine.auditor.observe_collective(
+            phase, max(0, P - 1) * 1, int(total_bytes) * max(0, P - 1)
+        )
     machine.advance(t, phase, messages=max(0, P - 1) * 1, nbytes=int(total_bytes) * max(0, P - 1))
     gathered = np.concatenate(arrays) if arrays else np.empty(0)
     return [gathered.copy() for _ in range(P)] if P > 1 else [gathered]
@@ -214,6 +220,8 @@ def allgather_scalars(
         raise ValueError(f"expected shape ({P},), got {vals.shape}")
     machine.synchronize()
     t = machine.model.tree_collective_time(P, 8.0 * P, machine.topology.diameter())
+    if machine.auditor is not None:
+        machine.auditor.observe_collective(phase, 2 * max(0, P - 1), 8 * P * max(0, P - 1))
     machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=8 * P * max(0, P - 1))
     return vals.copy()
 
@@ -244,6 +252,10 @@ def allreduce(
     item_bytes = float(np.asarray(values[0], dtype=np.float64).nbytes)
     machine.synchronize()
     t = machine.model.tree_collective_time(P, item_bytes, machine.topology.diameter())
+    if machine.auditor is not None:
+        machine.auditor.observe_collective(
+            phase, 2 * max(0, P - 1), int(item_bytes) * 2 * max(0, P - 1)
+        )
     machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=int(item_bytes) * 2 * max(0, P - 1))
     if result.ndim == 0:
         return float(result)
@@ -262,6 +274,8 @@ def bcast(
     arr = np.asarray(value)
     machine.synchronize()
     t = machine.model.tree_collective_time(P, float(arr.nbytes), machine.topology.diameter())
+    if machine.auditor is not None:
+        machine.auditor.observe_collective(phase, max(0, P - 1), arr.nbytes * max(0, P - 1))
     machine.advance(t, phase, messages=max(0, P - 1), nbytes=arr.nbytes * max(0, P - 1))
     return [np.array(arr, copy=True) if arr.ndim else value for _ in range(P)]
 
@@ -290,6 +304,8 @@ def gatherv(
         per_rank[i] += float(model.msg_time(hops[i], a.nbytes))
     per_rank[root] += model.overhead * (P - 1) + total_bytes / model.bandwidth
     per_rank[root] += float(model.copy_time(total_bytes))
+    if machine.auditor is not None:
+        machine.auditor.observe_collective(phase, max(0, P - 1), int(total_bytes))
     machine.advance(per_rank, phase, messages=max(0, P - 1), nbytes=int(total_bytes))
     result = [np.empty((0,) + arrays[0].shape[1:], dtype=arrays[0].dtype) for _ in range(P)]
     result[root] = np.concatenate(arrays) if arrays else np.empty(0)
@@ -326,5 +342,7 @@ def scatterv(
         per_rank[i] += float(model.msg_time(hops[i], a.nbytes))
         # receivers cannot finish before the root has pushed everything out
         per_rank[i] = max(per_rank[i], per_rank[root])
+    if machine.auditor is not None:
+        machine.auditor.observe_collective(phase, max(0, P - 1), int(total_bytes))
     machine.advance(per_rank, phase, messages=max(0, P - 1), nbytes=int(total_bytes))
     return [a.copy() for a in arrays]

@@ -65,6 +65,9 @@ class Machine:
         self.model = cost_model if cost_model is not None else CostModel()
         self.clocks = np.zeros(self.nprocs, dtype=np.float64)
         self.trace = Trace()
+        #: optional :class:`~repro.verify.audit.CommAuditor` observing every
+        #: communication primitive (attach via ``repro.verify.enable_auditing``)
+        self.auditor = None
 
     # -- clock access ---------------------------------------------------------
 
@@ -127,7 +130,10 @@ class Machine:
         """Tree barrier across all ranks."""
         self.synchronize()
         t = self.model.tree_collective_time(self.nprocs, 8.0, self.topology.diameter())
-        self.advance(t, phase, messages=2 * max(0, self.nprocs - 1), nbytes=0)
+        messages = 2 * max(0, self.nprocs - 1)
+        if self.auditor is not None:
+            self.auditor.observe_collective(phase, messages, 0)
+        self.advance(t, phase, messages=messages, nbytes=0)
 
     # -- diagnostics ------------------------------------------------------------
 

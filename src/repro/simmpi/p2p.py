@@ -34,6 +34,8 @@ def sendrecv(
     src = machine.check_rank(src)
     dst = machine.check_rank(dst)
     nbytes = payload_nbytes(payload)
+    if machine.auditor is not None:
+        machine.auditor.observe_sendrecv(src, dst, nbytes, phase)
     if src == dst:
         machine.copy(nbytes, phase)
         return payload
@@ -64,6 +66,8 @@ def send_round(
     ``recv[j]`` as source-sorted ``(src, payload)`` pairs.
     """
     model = machine.model
+    if machine.auditor is not None:
+        machine.auditor.observe_send_round(transfers, phase)
     recv: List[List[Tuple[int, Payload]]] = [[] for _ in range(machine.nprocs)]
     before = machine.clocks.max()
     n_messages = 0
@@ -117,6 +121,8 @@ def exchange_pairs(
     i.e. ``(payload_b_to_a, payload_a_to_b)``.
     """
     model = machine.model
+    if machine.auditor is not None:
+        machine.auditor.observe_exchange_pairs(exchanges, phase)
     seen: set = set()
     before = machine.clocks.max()
     out: Dict[Tuple[int, int], Tuple[Payload, Payload]] = {}

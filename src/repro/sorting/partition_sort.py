@@ -115,6 +115,8 @@ def partition_sort(
     # communication of the splitter agreement: one sample allgather plus an
     # exact-partitioning refinement round of scalar reductions [12]
     select_splitters(machine, [b[key] for b in current], oversampling, phase)
+    if machine.auditor is not None:
+        machine.auditor.observe_collective(phase, 2 * (P - 1), 0)
     machine.advance(
         machine.model.tree_collective_time(P, 16.0, machine.topology.diameter()),
         phase,

@@ -1,0 +1,82 @@
+"""Differential verification subsystem.
+
+Three cooperating layers turn the paper's correctness claims into
+executable checks:
+
+* :mod:`repro.verify.invariants` — a registry of composable invariant
+  checks (particle/charge conservation, resort-index permutation validity,
+  trace accounting, bounded energy drift, ...) that run against a live
+  :class:`~repro.md.simulation.Simulation`.
+* :mod:`repro.verify.differential` — the Method A/B cross-oracle: the same
+  seeded trajectory is run under method A, method B and method B +
+  max-movement across solvers and machine shapes, asserting identical
+  physics and that method B never redistributes more data than method A
+  (the executable form of the paper's Figures 7-8).
+* :mod:`repro.verify.audit` — a communication auditor wired into
+  :mod:`repro.simmpi.collectives` and :mod:`repro.simmpi.p2p` that
+  validates alltoallv count symmetry, flags unmatched point-to-point sends
+  (virtual-deadlock detection) and verifies neighborhood exchanges only
+  touch declared Cartesian neighbors.
+
+Run the differential oracle from the command line::
+
+    python -m repro.verify --quick
+
+See ``docs/verification.md`` for the invariant catalog and usage guide.
+"""
+
+from repro.verify.audit import (
+    CommAuditError,
+    CommAuditor,
+    check_count_symmetry,
+    enable_auditing,
+    verify_exchange_schedule,
+)
+from repro.verify.differential import (
+    DifferentialFailure,
+    DifferentialReport,
+    TrajectoryResult,
+    compare_states,
+    differential_check,
+    run_trajectory,
+    sweep,
+)
+from repro.verify.invariants import (
+    CheckResult,
+    Invariant,
+    InvariantChecker,
+    InvariantViolation,
+    all_invariants,
+    assert_invariants,
+    check_resort_permutation,
+    get_invariant,
+    invariant,
+    run_invariants,
+)
+from repro.verify.testing import auto_verify
+
+__all__ = [
+    "CommAuditError",
+    "CommAuditor",
+    "check_count_symmetry",
+    "enable_auditing",
+    "verify_exchange_schedule",
+    "DifferentialFailure",
+    "DifferentialReport",
+    "TrajectoryResult",
+    "compare_states",
+    "differential_check",
+    "run_trajectory",
+    "sweep",
+    "CheckResult",
+    "Invariant",
+    "InvariantChecker",
+    "InvariantViolation",
+    "all_invariants",
+    "assert_invariants",
+    "check_resort_permutation",
+    "get_invariant",
+    "invariant",
+    "run_invariants",
+    "auto_verify",
+]

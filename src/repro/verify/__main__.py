@@ -1,0 +1,123 @@
+"""Command-line entry point for the differential verification sweep.
+
+``python -m repro.verify --quick`` runs the A/B/B+move differential oracle
+on a small grid (two solvers, two machine shapes) with a strict
+communication auditor and the full invariant registry asserted after every
+step — the CI smoke configuration.  ``python -m repro.verify`` (no flags)
+runs the full grid including the P2NFFT solver.  Exit status 0 means every
+cell passed; 1 means at least one differential disagreement or invariant
+violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.verify.differential import DifferentialReport, sweep
+from repro.verify.invariants import all_invariants
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "differential verification: run the same seeded MD trajectory "
+            "under redistribution methods A, B and B+move and assert state "
+            "agreement, bounded method-B traffic, all registered invariants "
+            "and communication-contract compliance"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke grid: direct+fmm solvers, 4- and 8-rank machines",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_invariants",
+        help="list the registered invariants and exit",
+    )
+    parser.add_argument(
+        "--solvers",
+        nargs="+",
+        default=None,
+        metavar="SOLVER",
+        help="solvers to sweep (default: direct fmm p2nfft; --quick: direct fmm)",
+    )
+    parser.add_argument(
+        "--shapes",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="NPROCS",
+        help="machine shapes (rank counts) to sweep (default: 4 8)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None, help="MD steps per trajectory"
+    )
+    parser.add_argument(
+        "--particles", type=int, default=None, help="particles in the test system"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="system/trajectory seed")
+    parser.add_argument(
+        "--rtol", type=float, default=1e-6, help="relative state-agreement tolerance"
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_invariants:
+        invariants = all_invariants()
+        width = max(len(inv.name) for inv in invariants)
+        for inv in invariants:
+            print(f"{inv.name:<{width}}  {inv.description}")
+        print(f"\n{len(invariants)} invariants registered")
+        return 0
+
+    if args.quick:
+        solvers = args.solvers or ["direct", "fmm"]
+        steps = args.steps if args.steps is not None else 2
+        particles = args.particles if args.particles is not None else 32
+    else:
+        solvers = args.solvers or ["direct", "fmm", "p2nfft"]
+        steps = args.steps if args.steps is not None else 3
+        particles = args.particles if args.particles is not None else 48
+    shapes = args.shapes or [4, 8]
+
+    print(
+        f"differential sweep: solvers={solvers} shapes={shapes} "
+        f"steps={steps} particles={particles} seed={args.seed}"
+    )
+    reports: List[DifferentialReport] = sweep(
+        solvers=solvers,
+        shapes=shapes,
+        steps=steps,
+        n_particles=particles,
+        seed=args.seed,
+        rtol=args.rtol,
+    )
+    failed = 0
+    checks = 0
+    for report in reports:
+        print("  " + report.summary())
+        for failure in report.failures:
+            print(f"    {failure}")
+        failed += len(report.failures)
+        checks += sum(
+            t.invariants_passed for t in report.trajectories.values()
+        )
+    n_inv = len(all_invariants())
+    print(
+        f"{len(reports)} cells, {checks} invariant checks passed "
+        f"({n_inv} registered), {failed} failure(s)"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

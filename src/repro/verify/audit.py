@@ -1,0 +1,377 @@
+"""Communication auditor: checking mode for the simmpi transport layer.
+
+When a :class:`CommAuditor` is attached to a
+:class:`~repro.simmpi.machine.Machine` (via :func:`enable_auditing` or
+``machine.auditor = CommAuditor(...)``), the communication primitives in
+:mod:`repro.simmpi.collectives` and :mod:`repro.simmpi.p2p` report every
+exchange to it.  The auditor then
+
+* validates the **alltoallv count table**: the implicit receive counts must
+  be the exact transpose of the send counts (``recv[j][i] == send[i][j]``),
+  targets must be valid ranks, and payload byte sizes must be consistent —
+  the checks a real ``MPI_Alltoallv`` cannot do for you and whose violation
+  silently corrupts a redistribution;
+* verifies **neighborhood exchanges** only touch declared Cartesian
+  neighbors (the caller-guarantees contract of the sparse count-exchange
+  path, Sect. III-B of the paper);
+* tracks **point-to-point send/receive matching**: every posted send must be
+  consumed by a matching receive before :meth:`CommAuditor.assert_quiescent`
+  — an unmatched send is the virtual-deadlock signature of a mis-scheduled
+  Batcher merge-exchange round;
+* keeps an **independent per-phase ledger** of message counts and byte
+  volumes, recomputed from the raw send tables rather than copied from the
+  primitives' own accounting, so the ``trace-accounting`` invariant can
+  cross-check what the collectives reported into the
+  :class:`~repro.simmpi.tracing.Trace`.
+
+The auditor never changes what the primitives do — it only observes and
+raises :class:`CommAuditError` on violation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CommAuditError",
+    "CommAuditor",
+    "enable_auditing",
+    "check_count_symmetry",
+    "verify_exchange_schedule",
+]
+
+
+class CommAuditError(AssertionError):
+    """A communication contract was violated (asymmetric counts, unmatched
+    send, non-neighbor traffic, ...)."""
+
+
+def check_count_symmetry(
+    send_counts: Sequence[Sequence[int]],
+    recv_counts: Sequence[Sequence[int]],
+) -> None:
+    """Validate an alltoallv count table pair.
+
+    ``send_counts[i][j]`` is what rank ``i`` claims to send to rank ``j``;
+    ``recv_counts[j][i]`` is what rank ``j`` expects from rank ``i``.  A
+    correct exchange requires the receive table to be the exact transpose of
+    the send table; any asymmetric entry means a rank posts a receive for
+    data that never comes (hang) or data arrives unannounced (truncation).
+    """
+    send = np.asarray(send_counts, dtype=np.int64)
+    recv = np.asarray(recv_counts, dtype=np.int64)
+    if send.ndim != 2 or send.shape[0] != send.shape[1]:
+        raise CommAuditError(f"send count table must be square, got {send.shape}")
+    if recv.shape != send.shape:
+        raise CommAuditError(
+            f"count table shapes differ: send {send.shape} vs recv {recv.shape}"
+        )
+    if np.any(send < 0) or np.any(recv < 0):
+        raise CommAuditError("count tables must be non-negative")
+    mismatch = send != recv.T
+    if np.any(mismatch):
+        src, dst = (int(x) for x in np.argwhere(mismatch)[0])
+        raise CommAuditError(
+            f"asymmetric alltoallv counts: rank {src} sends {int(send[src, dst])} "
+            f"to rank {dst}, which expects {int(recv[dst, src])}"
+        )
+
+
+def verify_exchange_schedule(
+    rounds: Iterable[Sequence[Tuple[int, int]]],
+    nprocs: int,
+) -> None:
+    """Validate a pairwise exchange schedule (e.g. Batcher comparator rounds).
+
+    Each round must pair distinct, valid ranks, and no rank may appear in
+    two pairs of the same round: a rank scheduled into two simultaneous
+    ``MPI_Sendrecv`` exchanges posts a send whose matching receive is owned
+    by a rank still blocked in its own exchange — the virtual deadlock the
+    merge-exchange path must never produce.
+    """
+    for round_index, pairs in enumerate(rounds):
+        seen: Set[int] = set()
+        for a, b in pairs:
+            if not (0 <= a < nprocs and 0 <= b < nprocs):
+                raise CommAuditError(
+                    f"round {round_index}: pair ({a}, {b}) outside [0, {nprocs})"
+                )
+            if a == b:
+                raise CommAuditError(
+                    f"round {round_index}: rank {a} paired with itself"
+                )
+            for r in (a, b):
+                if r in seen:
+                    raise CommAuditError(
+                        f"round {round_index}: rank {r} appears in two exchanges "
+                        "(unmatched sendrecv — virtual deadlock)"
+                    )
+                seen.add(r)
+
+
+@dataclasses.dataclass
+class PhaseLedger:
+    """Independently recomputed per-phase traffic totals."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def add(self, messages: int, nbytes: int) -> None:
+        self.messages += int(messages)
+        self.bytes += int(nbytes)
+
+
+class CommAuditor:
+    """Observes and validates every audited communication of one machine.
+
+    Parameters
+    ----------
+    nprocs:
+        rank count of the machine being audited.
+    neighbor_table:
+        optional per-rank arrays of allowed peer ranks for neighborhood
+        exchanges (e.g. ``CartGrid.neighbor_table(include_self=True)``).
+        When set, any sparse-count-exchange message outside the table
+        raises.  Self-sends are always allowed.
+    strict:
+        raise :class:`CommAuditError` immediately on violation (default).
+        With ``strict=False`` violations are collected in
+        :attr:`violations` instead — useful for sweeping audits that should
+        report everything rather than stop at the first failure.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        neighbor_table: Optional[Sequence[np.ndarray]] = None,
+        strict: bool = True,
+    ) -> None:
+        self.nprocs = int(nprocs)
+        self.strict = bool(strict)
+        self.violations: List[str] = []
+        self._neighbors: Optional[List[Set[int]]] = None
+        if neighbor_table is not None:
+            self.declare_neighbors(neighbor_table)
+        #: per-phase totals recomputed from raw send tables (audited
+        #: primitives only — compare against Trace via `trace-accounting`)
+        self.ledger: Dict[str, PhaseLedger] = {}
+        #: trace snapshot taken at attach time so the ledger (which only
+        #: sees post-attach traffic) compares against trace *deltas*
+        self.trace_baseline: Dict[str, object] = {}
+        #: pending point-to-point sends awaiting their matching receive
+        self._pending_sends: List[Tuple[int, int, int]] = []
+        #: running totals of audited calls (diagnostics)
+        self.n_alltoall_calls = 0
+        self.n_p2p_calls = 0
+
+    # -- violation handling -----------------------------------------------------
+
+    def _fail(self, message: str) -> None:
+        if self.strict:
+            raise CommAuditError(message)
+        self.violations.append(message)
+
+    # -- configuration ----------------------------------------------------------
+
+    def declare_neighbors(self, neighbor_table: Sequence[np.ndarray]) -> None:
+        """Declare the allowed peers of every rank for neighborhood traffic."""
+        if len(neighbor_table) != self.nprocs:
+            raise ValueError(
+                f"neighbor table has {len(neighbor_table)} entries for "
+                f"{self.nprocs} ranks"
+            )
+        self._neighbors = [
+            {int(x) for x in np.asarray(peers).ravel()} for peers in neighbor_table
+        ]
+
+    # -- ledger -----------------------------------------------------------------
+
+    def _record(self, phase: Optional[str], messages: int, nbytes: int) -> None:
+        label = phase if phase is not None else "other"
+        ledger = self.ledger.get(label)
+        if ledger is None:
+            ledger = self.ledger[label] = PhaseLedger()
+        ledger.add(messages, nbytes)
+
+    def ledger_snapshot(self) -> Dict[str, PhaseLedger]:
+        return {k: dataclasses.replace(v) for k, v in self.ledger.items()}
+
+    # -- collective hooks ---------------------------------------------------------
+
+    def observe_alltoallv(
+        self,
+        sends: Sequence[Dict[int, object]],
+        phase: Optional[str],
+        count_exchange: str,
+    ) -> None:
+        """Audit one (neighborhood_)alltoallv call from its raw send table."""
+        from repro.simmpi.collectives import payload_nbytes
+
+        self.n_alltoall_calls += 1
+        if len(sends) != self.nprocs:
+            self._fail(
+                f"alltoallv send table has {len(sends)} rows for {self.nprocs} ranks"
+            )
+            return
+        send_counts = np.zeros((self.nprocs, self.nprocs), dtype=np.int64)
+        messages = 0
+        nbytes = 0
+        for src, targets in enumerate(sends):
+            for dst, payload in targets.items():
+                if not 0 <= dst < self.nprocs:
+                    self._fail(f"rank {src} sends to invalid rank {dst}")
+                    continue
+                size = payload_nbytes(payload)
+                if size < 0:
+                    self._fail(f"rank {src}->{dst}: negative payload size {size}")
+                send_counts[src, dst] += 1
+                if dst != src:
+                    messages += 1
+                    nbytes += size
+                if (
+                    count_exchange == "sparse"
+                    and self._neighbors is not None
+                    and dst != src
+                    and dst not in self._neighbors[src]
+                ):
+                    self._fail(
+                        f"neighborhood exchange: rank {src} sends to rank {dst}, "
+                        f"which is not a declared neighbor"
+                    )
+        # the implicit receive side of a sparse send table is its transpose
+        # by construction; validate the invariant explicitly so injected
+        # corruptions (tests, future real-MPI backends) are caught
+        try:
+            check_count_symmetry(send_counts, send_counts.T)
+        except CommAuditError as exc:  # pragma: no cover - defensive
+            self._fail(str(exc))
+        self._record(phase, messages, nbytes)
+
+    def observe_collective(
+        self, phase: Optional[str], messages: int, nbytes: int
+    ) -> None:
+        """Mirror a rooted/tree collective's modeled message totals.
+
+        Tree collectives (allreduce, bcast, gather, ...) have no
+        user-supplied count table to recompute from; their modeled totals
+        are mirrored into the ledger so phase totals stay comparable with
+        the trace.
+        """
+        self._record(phase, messages, nbytes)
+
+    # -- point-to-point hooks -----------------------------------------------------
+
+    def post_send(self, src: int, dst: int, nbytes: int = 0) -> None:
+        """Register a posted point-to-point send awaiting its receive."""
+        self._pending_sends.append((int(src), int(dst), int(nbytes)))
+
+    def complete_recv(self, src: int, dst: int) -> None:
+        """Match a completed receive against a pending send."""
+        for i, (s, d, _) in enumerate(self._pending_sends):
+            if s == int(src) and d == int(dst):
+                del self._pending_sends[i]
+                return
+        self._fail(
+            f"receive at rank {dst} from rank {src} has no matching posted send"
+        )
+
+    def pending_sends(self) -> List[Tuple[int, int, int]]:
+        return list(self._pending_sends)
+
+    def assert_quiescent(self) -> None:
+        """No point-to-point send may still be in flight.
+
+        An unmatched send is the virtual-deadlock signature: on a real
+        machine the sender's rendezvous never completes and the program
+        hangs instead of raising.
+        """
+        if self._pending_sends:
+            pending = ", ".join(
+                f"{s}->{d} ({b} B)" for s, d, b in self._pending_sends[:8]
+            )
+            self._fail(
+                f"{len(self._pending_sends)} unmatched point-to-point send(s): "
+                f"{pending}"
+            )
+
+    def observe_sendrecv(
+        self, src: int, dst: int, nbytes: int, phase: Optional[str]
+    ) -> None:
+        if src == dst:
+            return
+        self.n_p2p_calls += 1
+        self.post_send(src, dst, nbytes)
+        self.complete_recv(src, dst)
+        self._record(phase, 1, nbytes)
+
+    def observe_send_round(
+        self,
+        transfers: Sequence[Tuple[int, int, object]],
+        phase: Optional[str],
+    ) -> None:
+        """Audit one send_round call: recompute totals, match every pair."""
+        from repro.simmpi.collectives import payload_nbytes
+
+        self.n_p2p_calls += 1
+        messages = 0
+        nbytes = 0
+        for src, dst, payload in transfers:
+            if not (0 <= src < self.nprocs and 0 <= dst < self.nprocs):
+                self._fail(f"send_round transfer {src}->{dst} outside rank range")
+                continue
+            if src == dst:
+                continue
+            size = payload_nbytes(payload)
+            self.post_send(src, dst, size)
+            messages += 1
+            nbytes += size
+        # the primitive delivers every posted message within the round
+        for src, dst, payload in transfers:
+            if src != dst and 0 <= src < self.nprocs and 0 <= dst < self.nprocs:
+                self.complete_recv(src, dst)
+        self._record(phase, messages, nbytes)
+
+    def observe_exchange_pairs(
+        self,
+        exchanges: Sequence[Tuple[int, int, object, object]],
+        phase: Optional[str],
+    ) -> None:
+        """Audit one exchange_pairs round (a Batcher comparator round)."""
+        from repro.simmpi.collectives import payload_nbytes
+
+        self.n_p2p_calls += 1
+        verify_exchange_schedule([[(a, b) for a, b, _, _ in exchanges]], self.nprocs)
+        messages = 0
+        nbytes = 0
+        for a, b, pa, pb in exchanges:
+            size_ab = payload_nbytes(pa)
+            size_ba = payload_nbytes(pb)
+            self.post_send(a, b, size_ab)
+            self.post_send(b, a, size_ba)
+            self.complete_recv(a, b)
+            self.complete_recv(b, a)
+            messages += 2
+            nbytes += size_ab + size_ba
+        self._record(phase, messages, nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommAuditor(nprocs={self.nprocs}, alltoall_calls="
+            f"{self.n_alltoall_calls}, p2p_calls={self.n_p2p_calls}, "
+            f"pending={len(self._pending_sends)}, violations={len(self.violations)})"
+        )
+
+
+def enable_auditing(
+    machine,
+    neighbor_table: Optional[Sequence[np.ndarray]] = None,
+    strict: bool = True,
+) -> CommAuditor:
+    """Attach a fresh :class:`CommAuditor` to ``machine`` and return it."""
+    auditor = CommAuditor(machine.nprocs, neighbor_table=neighbor_table, strict=strict)
+    auditor.trace_baseline = machine.trace.snapshot()
+    machine.auditor = auditor
+    return auditor

@@ -1,0 +1,135 @@
+"""Shared Hypothesis strategies for the property-based test suites.
+
+Kept inside the package (rather than in ``tests/conftest.py``) so every test
+module — and downstream users writing their own property tests — can import
+them with a plain ``from repro.verify.strategies import ...``.  The
+``hypothesis`` import is deferred so the package stays importable on
+machines without it; only actually *drawing* from a strategy requires it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.resort import RESORT_POS_BITS, RANK_LIMIT, POSITION_LIMIT
+
+__all__ = [
+    "rank_arrays",
+    "position_arrays",
+    "rank_position_arrays",
+    "permutations",
+    "symmetric_count_tables",
+    "multiplicity_maps",
+]
+
+
+def _hypothesis():
+    try:
+        import hypothesis.strategies as st
+        from hypothesis.extra import numpy as hnp
+    except ImportError as exc:  # pragma: no cover - env without hypothesis
+        raise ImportError(
+            "the repro.verify.strategies module requires the 'hypothesis' "
+            "package (available in the test environment)"
+        ) from exc
+    return st, hnp
+
+
+def rank_arrays(max_size: int = 64):
+    """Arrays of valid target ranks over the full packing range."""
+    st, hnp = _hypothesis()
+    return hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=0, max_value=max_size),
+        elements=st.integers(min_value=0, max_value=RANK_LIMIT - 1),
+    )
+
+
+def position_arrays(max_size: int = 64):
+    """Arrays of valid target positions over the full packing range."""
+    st, hnp = _hypothesis()
+    return hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=0, max_value=max_size),
+        elements=st.integers(min_value=0, max_value=POSITION_LIMIT - 1),
+    )
+
+
+def rank_position_arrays(max_size: int = 64):
+    """Equal-length (ranks, positions) pairs spanning the full ranges.
+
+    Ranks cover ``[0, 2**31 - 1]`` and positions ``[0, 2**32 - 1]`` — the
+    extremes where a packing bug (sign bit, shifted-mask overlap) shows up.
+    """
+    st, hnp = _hypothesis()
+
+    def pair(n):
+        ranks = hnp.arrays(
+            dtype=np.int64,
+            shape=n,
+            elements=st.integers(min_value=0, max_value=RANK_LIMIT - 1),
+        )
+        positions = hnp.arrays(
+            dtype=np.int64,
+            shape=n,
+            elements=st.integers(min_value=0, max_value=POSITION_LIMIT - 1),
+        )
+        return st.tuples(ranks, positions)
+
+    return st.integers(min_value=0, max_value=max_size).flatmap(pair)
+
+
+def permutations(max_size: int = 128):
+    """Random permutations of ``0..n-1`` as int64 arrays."""
+    st, _ = _hypothesis()
+
+    def build(n_and_seed):
+        n, seed = n_and_seed
+        return np.random.default_rng(seed).permutation(n).astype(np.int64)
+
+    return st.tuples(
+        st.integers(min_value=0, max_value=max_size),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    ).map(build)
+
+
+def symmetric_count_tables(max_nprocs: int = 8, max_count: int = 16):
+    """Valid alltoallv count tables: ``recv`` is exactly ``send.T``."""
+    st, hnp = _hypothesis()
+
+    def build(n):
+        return hnp.arrays(
+            dtype=np.int64,
+            shape=(n, n),
+            elements=st.integers(min_value=0, max_value=max_count),
+        ).map(lambda send: (send, send.T.copy()))
+
+    return st.integers(min_value=1, max_value=max_nprocs).flatmap(build)
+
+
+def multiplicity_maps(max_size: int = 48, max_nprocs: int = 8, max_copies: int = 3):
+    """Per-element target multiplicities for duplicating distributions.
+
+    Draws ``(nprocs, targets)`` where ``targets[i]`` is the list of target
+    ranks element ``i`` is sent to (possibly empty = dropped, possibly
+    repeated = duplicated) — the ground truth a fine-grained redistribution
+    with a duplicating distribution function must reproduce exactly.
+    """
+    st, _ = _hypothesis()
+
+    def build(n_and_p):
+        n, nprocs = n_and_p
+        target_list = st.lists(
+            st.integers(min_value=0, max_value=nprocs - 1),
+            min_size=0,
+            max_size=max_copies,
+        )
+        return st.tuples(
+            st.just(nprocs),
+            st.lists(target_list, min_size=n, max_size=n),
+        )
+
+    return st.tuples(
+        st.integers(min_value=0, max_value=max_size),
+        st.integers(min_value=1, max_value=max_nprocs),
+    ).flatmap(build)

@@ -1,4 +1,9 @@
-"""Shared fixtures: small machines, particle systems, distributions."""
+"""Shared fixtures: small machines, particle systems, distributions.
+
+The Hypothesis strategies shared across the property-test suites live in
+:mod:`repro.verify.strategies` (importable from test modules and downstream
+code alike); they are re-exported here for discoverability.
+"""
 
 import numpy as np
 import pytest
@@ -6,6 +11,14 @@ import pytest
 from repro.core.particles import ParticleSet
 from repro.md.systems import silica_melt_system
 from repro.simmpi.machine import Machine
+from repro.verify.strategies import (  # noqa: F401  (re-exported for tests)
+    multiplicity_maps,
+    permutations,
+    position_arrays,
+    rank_arrays,
+    rank_position_arrays,
+    symmetric_count_tables,
+)
 
 
 @pytest.fixture

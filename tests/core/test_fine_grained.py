@@ -118,6 +118,74 @@ class TestDuplication:
             )
 
 
+class TestMultiplicityConservation:
+    """Property: with a duplicating distribution function, each element
+    appears at each rank exactly as often as the distribution asked —
+    duplication creates ghosts, omission drops them, nothing else changes."""
+
+    @staticmethod
+    def _run(nprocs, targets_per_elem):
+        from repro.verify.invariants import InvariantChecker  # noqa: F401  (import check)
+
+        machine = Machine(nprocs)
+        n = len(targets_per_elem)
+        # spread the elements over the ranks round-robin
+        owner = np.arange(n, dtype=np.int64) % nprocs
+        blocks = [
+            ColumnBlock(ident=np.flatnonzero(owner == r).astype(np.int64))
+            for r in range(nprocs)
+        ]
+
+        def dist(rank, block):
+            elems = []
+            targs = []
+            for i, ident in enumerate(block["ident"]):
+                for t in targets_per_elem[int(ident)]:
+                    elems.append(i)
+                    targs.append(t)
+            return (
+                np.asarray(elems, dtype=np.int64),
+                np.asarray(targs, dtype=np.int64),
+            )
+
+        return machine, fine_grained_redistribute(machine, blocks, dist, "x")
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_multiplicities_exact(self, data):
+        from repro.verify.strategies import multiplicity_maps
+
+        nprocs, targets_per_elem = data.draw(multiplicity_maps())
+        _, out = self._run(nprocs, targets_per_elem)
+        n = len(targets_per_elem)
+        # expected[r][i] = how often element i was sent to rank r
+        for r in range(nprocs):
+            got = np.bincount(out[r]["ident"], minlength=n) if out[r].n else np.zeros(n, np.int64)
+            expected = np.zeros(n, dtype=np.int64)
+            for i, targets in enumerate(targets_per_elem):
+                expected[i] = sum(1 for t in targets if t == r)
+            np.testing.assert_array_equal(got, expected)
+        # global multiplicity: total copies == total requested targets
+        assert sum(b.n for b in out) == sum(len(t) for t in targets_per_elem)
+
+    def test_zero_copy_everything_dropped(self):
+        """Every element returns zero targets: all data vanishes, the
+        operation still completes and returns empty blocks."""
+        _, out = self._run(4, [[] for _ in range(12)])
+        assert [b.n for b in out] == [0, 0, 0, 0]
+
+    def test_all_to_one_with_duplicates(self):
+        """Every element sends 3 copies of itself to rank 0."""
+        n = 10
+        machine, out = self._run(5, [[0, 0, 0] for _ in range(n)])
+        assert out[0].n == 3 * n
+        np.testing.assert_array_equal(
+            np.bincount(out[0]["ident"], minlength=n), np.full(n, 3)
+        )
+        for r in range(1, 5):
+            assert out[r].n == 0
+
+
 class TestComm:
     def test_neighborhood_same_data(self, machine8):
         blocks = id_blocks([4] * 8)

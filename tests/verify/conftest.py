@@ -1,0 +1,38 @@
+"""Fixtures for the verification-subsystem tests."""
+
+import pytest
+
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi.machine import Machine
+from repro.verify import InvariantChecker, enable_auditing
+from repro.verify.testing import auto_verify
+
+
+@pytest.fixture
+def verified():
+    """One-decorator opt-in as a fixture: every Simulation constructed inside
+    the test is audited and invariant-checked after each step."""
+    with auto_verify():
+        yield
+
+
+@pytest.fixture
+def sim_factory():
+    """Build a small audited simulation plus its invariant checker."""
+
+    def build(solver="fmm", method="B", nprocs=4, n=24, seed=2, **cfg_kwargs):
+        machine = Machine(nprocs)
+        sim = Simulation(
+            machine,
+            silica_melt_system(n, seed=seed),
+            SimulationConfig(
+                solver=solver, method=method, distribution="random",
+                seed=seed, **cfg_kwargs,
+            ),
+        )
+        auditor = enable_auditing(machine)
+        checker = InvariantChecker(sim)
+        return sim, checker, auditor
+
+    return build

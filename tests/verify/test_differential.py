@@ -1,0 +1,122 @@
+"""Differential oracle: A/B/B+move agreement and bounded method-B volume."""
+
+import numpy as np
+import pytest
+
+from repro.verify.differential import (
+    METHODS,
+    DifferentialFailure,
+    compare_states,
+    differential_check,
+    redistribution_volume,
+    run_trajectory,
+    sweep,
+)
+
+
+class TestCompareStates:
+    @staticmethod
+    def _state(n=6, seed=0):
+        rng = np.random.default_rng(seed)
+        return {
+            "ids": np.arange(n),
+            "pos": rng.uniform(size=(n, 3)),
+            "vel": rng.uniform(size=(n, 3)),
+            "q": rng.uniform(size=n),
+            "pot": rng.uniform(size=n),
+        }
+
+    def test_identical_states_agree(self):
+        s = self._state()
+        assert compare_states(s, dict(s)) is None
+
+    def test_rounding_noise_tolerated(self):
+        s = self._state()
+        t = dict(s)
+        t["pos"] = s["pos"] * (1 + 1e-13)
+        assert compare_states(s, t) is None
+
+    def test_deviation_reported(self):
+        s = self._state()
+        t = dict(s)
+        t["vel"] = s["vel"] + 1e-3
+        msg = compare_states(s, t)
+        assert msg is not None and msg.startswith("vel")
+
+    def test_id_mismatch_reported(self):
+        s = self._state()
+        t = dict(s)
+        t["ids"] = s["ids"].copy()
+        t["ids"][0] = 99
+        assert "id sets differ" in compare_states(s, t)
+
+
+class TestTrajectories:
+    def test_trajectory_runs_all_invariants(self):
+        result = run_trajectory("fmm", "B", 4, steps=2, n_particles=24)
+        assert result.invariants_passed >= 8 * 3  # >= 8 checks x 3 asserts
+        assert result.state["ids"].shape == (24,)
+
+    def test_volume_counts_redistribution_phases_only(self):
+        result = run_trajectory("fmm", "A", 4, steps=2, n_particles=24)
+        nbytes, messages = redistribution_volume(result.records)
+        assert (nbytes, messages) == (
+            result.redistribution_bytes,
+            result.redistribution_messages,
+        )
+        assert nbytes > 0  # method A restores every step
+
+
+class TestDifferentialCheck:
+    @pytest.mark.parametrize("solver", ["fmm", "p2nfft"])
+    def test_methods_agree(self, solver):
+        report = differential_check(solver, 4, steps=2, n_particles=24)
+        assert report.ok, report.failures
+        assert set(report.trajectories) == set(METHODS)
+
+    def test_volume_ordering_fmm(self):
+        """The executable Figures 7-8 claim: method B (and B+move) moves at
+        most as much data as method A, and B+move at most as much as B
+        (merge strategy beats full sort under a movement bound)."""
+        report = differential_check("fmm", 8, steps=3, n_particles=32)
+        assert report.ok, report.failures
+        vols = report.volumes
+        assert vols["B"] <= vols["A"]
+        assert vols["B+move"] <= vols["B"]
+
+    def test_direct_solver_trivial_cell(self):
+        report = differential_check("direct", 4, steps=1, n_particles=16)
+        assert report.ok
+        assert all(v == 0 for v in report.volumes.values())
+
+    def test_raise_on_failure_flag(self, monkeypatch):
+        """A state disagreement must surface as DifferentialFailure when
+        raise_on_failure is set (and as report.failures otherwise)."""
+        import repro.verify.differential as differential
+
+        monkeypatch.setattr(
+            differential, "compare_states", lambda *a, **k: "forced mismatch"
+        )
+        report = differential.differential_check(
+            "direct", 4, steps=1, n_particles=16
+        )
+        assert not report.ok
+        assert any("forced mismatch" in f for f in report.failures)
+        with pytest.raises(DifferentialFailure, match="forced mismatch"):
+            differential.differential_check(
+                "direct", 4, steps=1, n_particles=16, raise_on_failure=True
+            )
+
+    def test_summary_renders(self):
+        report = differential_check("direct", 4, steps=1, n_particles=16)
+        text = report.summary()
+        assert "direct" in text and "ok" in text
+
+
+class TestSweep:
+    def test_quick_grid(self):
+        reports = sweep(
+            solvers=("direct", "fmm"), shapes=(4, 8), steps=1, n_particles=16
+        )
+        assert len(reports) == 4
+        assert all(r.ok for r in reports)

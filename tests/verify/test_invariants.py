@@ -1,0 +1,241 @@
+"""Invariant registry: positive runs, corruption detection, registration."""
+
+import numpy as np
+import pytest
+
+from repro.core.resort import pack_resort_index
+from repro.verify import (
+    InvariantChecker,
+    InvariantViolation,
+    all_invariants,
+    check_resort_permutation,
+    get_invariant,
+    run_invariants,
+)
+from repro.verify.invariants import _REGISTRY, SKIPPED, invariant
+
+
+class TestRegistry:
+    def test_at_least_eight_invariants(self):
+        assert len(all_invariants()) >= 8
+
+    def test_names_unique_and_described(self):
+        invs = all_invariants()
+        assert len({i.name for i in invs}) == len(invs)
+        assert all(i.description for i in invs)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown invariant"):
+            get_invariant("no-such-check")
+
+    def test_duplicate_registration_rejected(self):
+        name = all_invariants()[0].name
+        with pytest.raises(ValueError, match="already registered"):
+            invariant(name, "dup")(lambda c: None)
+
+    def test_custom_registration(self):
+        @invariant("test-only-check", "a throwaway check")
+        def _check(checker):
+            return None
+
+        try:
+            assert get_invariant("test-only-check").check is _check
+        finally:
+            del _REGISTRY["test-only-check"]
+
+
+class TestLiveSimulation:
+    def test_all_pass_on_healthy_run(self, sim_factory):
+        sim, checker, auditor = sim_factory(track_energy=True)
+        sim.run(2)
+        results = checker.assert_ok()
+        passed = [r.name for r in results if r.status == "passed"]
+        assert len(passed) >= 8
+        assert not any(r.failed for r in results)
+        auditor.assert_quiescent()
+
+    def test_selected_names_only(self, sim_factory):
+        sim, checker, _ = sim_factory()
+        sim.run(1)
+        results = checker.run(["particle-count", "charge-conservation"])
+        assert [r.name for r in results] == [
+            "particle-count",
+            "charge-conservation",
+        ]
+
+    def test_lost_particle_detected(self, sim_factory):
+        sim, checker, _ = sim_factory()
+        sim.run(1)
+        # drop one particle from a nonempty rank behind the library's back
+        r = next(i for i, p in enumerate(sim.particles.pos) if p.shape[0])
+        for cols in (sim.particles.pos, sim.particles.q, sim.particles.pot,
+                     sim.particles.field, sim.vel, sim.acc, sim.ids):
+            cols[r] = cols[r][:-1]
+        results = {res.name: res for res in checker.run()}
+        assert results["particle-count"].failed
+
+    def test_charge_corruption_detected(self, sim_factory):
+        sim, checker, _ = sim_factory()
+        sim.run(1)
+        r = next(i for i, q in enumerate(sim.particles.q) if q.shape[0])
+        sim.particles.q[r] = sim.particles.q[r] + 0.5
+        results = {res.name: res for res in checker.run()}
+        assert results["charge-conservation"].failed
+
+    def test_duplicated_identity_detected(self, sim_factory):
+        sim, checker, _ = sim_factory()
+        sim.run(1)
+        r = next(i for i, ids in enumerate(sim.ids) if ids.shape[0] >= 2)
+        ids = sim.ids[r].copy()
+        ids[0] = ids[1]
+        sim.ids[r] = ids
+        results = {res.name: res for res in checker.run()}
+        assert results["identity-permutation"].failed
+
+    def test_nan_potential_detected(self, sim_factory):
+        sim, checker, _ = sim_factory()
+        sim.run(1)
+        r = next(i for i, p in enumerate(sim.particles.pot) if p.shape[0])
+        sim.particles.pot[r] = sim.particles.pot[r].copy()
+        sim.particles.pot[r][0] = np.nan
+        results = {res.name: res for res in checker.run()}
+        assert results["results-finite"].failed
+
+    def test_assert_ok_raises_with_detail(self, sim_factory):
+        sim, checker, _ = sim_factory()
+        sim.run(1)
+        r = next(i for i, q in enumerate(sim.particles.q) if q.shape[0])
+        sim.particles.q[r] = sim.particles.q[r] + 0.5
+        with pytest.raises(InvariantViolation, match="charge"):
+            checker.assert_ok()
+
+    def test_energy_drift_skipped_without_tracking(self, sim_factory):
+        sim, checker, _ = sim_factory(track_energy=False)
+        sim.run(1)
+        results = {res.name: res for res in checker.run()}
+        assert results["energy-drift"].status == "skipped"
+
+    def test_trace_accounting_detects_ledger_mismatch(self, sim_factory):
+        sim, checker, auditor = sim_factory()
+        sim.run(1)
+        assert "sort" in auditor.ledger
+        auditor.ledger["sort"].messages += 7  # simulate a lost message
+        results = {res.name: res for res in checker.run()}
+        assert results["trace-accounting"].failed
+
+    def test_one_shot_helper(self, sim_factory):
+        sim, _, _ = sim_factory()
+        sim.run(1)
+        results = run_invariants(sim)
+        assert any(r.status == "passed" for r in results)
+
+
+class TestResortPermutationCheck:
+    """The acceptance-criterion negative test: corrupting a resort index
+    must flip the permutation invariant to failed."""
+
+    @staticmethod
+    def _valid_indices(nprocs=3):
+        # identity redistribution: rank r keeps its 2 particles in place
+        idx = [
+            pack_resort_index(
+                np.full(2, r, dtype=np.int64), np.arange(2, dtype=np.int64)
+            )
+            for r in range(nprocs)
+        ]
+        return idx, [2] * nprocs, nprocs
+
+    def test_valid_passes(self):
+        idx, counts, nprocs = self._valid_indices()
+        assert check_resort_permutation(idx, counts, nprocs) is None
+
+    def test_corrupted_duplicate_target_fails(self):
+        idx, counts, nprocs = self._valid_indices()
+        corrupted = idx[0].copy()
+        corrupted[1] = corrupted[0]  # two particles claim one slot
+        idx[0] = corrupted
+        msg = check_resort_permutation(idx, counts, nprocs)
+        assert msg is not None and "not a permutation" in msg
+
+    def test_corrupted_rank_out_of_range_fails(self):
+        idx, counts, nprocs = self._valid_indices()
+        corrupted = idx[0].copy()
+        corrupted[0] = pack_resort_index(
+            np.array([nprocs + 5]), np.array([0])
+        )[0]
+        idx[0] = corrupted
+        msg = check_resort_permutation(idx, counts, nprocs)
+        assert msg is not None and "out of range" in msg
+
+    def test_corrupted_position_overflow_fails(self):
+        idx, counts, nprocs = self._valid_indices()
+        corrupted = idx[0].copy()
+        corrupted[0] = pack_resort_index(np.array([0]), np.array([99]))[0]
+        idx[0] = corrupted
+        msg = check_resort_permutation(idx, counts, nprocs)
+        assert msg is not None and "exceeds" in msg
+
+    def test_ghost_index_fails(self):
+        idx, counts, nprocs = self._valid_indices()
+        corrupted = idx[0].copy()
+        corrupted[0] = -1
+        idx[0] = corrupted
+        msg = check_resort_permutation(idx, counts, nprocs)
+        assert msg is not None and "ghost" in msg
+
+    def test_live_corruption_detected(self, sim_factory):
+        """End-to-end: corrupt the solver-produced resort indices of a live
+        method-B run; the resort-permutation invariant must fail."""
+        sim, checker, _ = sim_factory(solver="fmm", method="B")
+        sim.run(1)
+        report = sim.fcs.last_report
+        assert report is not None and report.changed
+        results = {r.name: r for r in checker.run()}
+        assert results["resort-permutation"].status == "passed"
+        r = next(
+            i for i, idx in enumerate(report.resort_indices) if idx.shape[0] >= 2
+        )
+        report.resort_indices[r][1] = report.resort_indices[r][0]
+        results = {r.name: r for r in checker.run()}
+        assert results["resort-permutation"].failed
+
+
+class TestAutoVerify:
+    def test_decorator_instruments_simulation(self, verified, sim_factory):
+        sim, _, _ = sim_factory()
+        sim.run(2)  # implicit asserts after initialize and each step
+        assert hasattr(sim, "_verify_checker")
+        assert any(
+            r.status == "passed" for r in sim._verify_checker.history
+        )
+
+    def test_scope_restores_methods(self):
+        from repro.md.simulation import Simulation
+        from repro.verify.testing import auto_verify
+
+        original_step = Simulation.step
+        with auto_verify():
+            assert Simulation.step is not original_step
+        assert Simulation.step is original_step
+
+    def test_catches_corruption_inside_scope(self, sim_factory):
+        from repro.md.simulation import Simulation
+        from repro.verify.testing import auto_verify
+
+        original_step = Simulation.step
+
+        def corrupting_step(self):
+            record = original_step(self)
+            r = next(i for i, q in enumerate(self.particles.q) if q.shape[0])
+            self.particles.q[r] = self.particles.q[r] + 1.0
+            return record
+
+        Simulation.step = corrupting_step
+        try:
+            with auto_verify():
+                sim, _, _ = sim_factory()
+                sim.initialize()
+                with pytest.raises(InvariantViolation):
+                    sim.step()
+        finally:
+            Simulation.step = original_step
