@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Resort-path benchmark: plan-based fused exchange vs per-column exchanges.
+
+Runs the same seeded method-B MD trajectory twice through the plan engine —
+once with ``fuse_resort=True`` (velocities + accelerations + ids in ONE
+fused exchange per step) and once with ``fuse_resort=False`` (one exchange
+per column, the legacy traffic pattern) — and writes ``BENCH_resort.json``
+with the traced resort-phase messages/bytes, the plan-cache statistics,
+the auditor's independent ledger balance and the differential-oracle
+verdict.
+
+The acceptance numbers this evidences:
+
+* one MD step resorting the six float columns plus the ids performs
+  exactly ONE fused data exchange (previously >= 2),
+* at least 2x fewer traced resort-phase messages than the per-column
+  pattern,
+* the auditor's plan ledger balances against the audited exchanges,
+* both variants produce bit-identical trajectories.
+
+Run:  PYTHONPATH=src python benchmarks/bench_resort.py [--steps N] [--n N]
+      [--nprocs P] [--out BENCH_resort.json]
+"""
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi.machine import Machine
+from repro.verify import InvariantChecker, enable_auditing
+
+
+def run_variant(fuse, *, nprocs, n, steps, seed):
+    machine = Machine(nprocs)
+    sim = Simulation(
+        machine,
+        silica_melt_system(n, seed=seed),
+        SimulationConfig(
+            solver="fmm",
+            method="B",
+            distribution="random",
+            seed=seed,
+            fuse_resort=fuse,
+            solver_kwargs={"order": 3, "depth": 3, "lattice_shells": 2},
+        ),
+    )
+    auditor = enable_auditing(machine)
+    checker = InvariantChecker(sim)
+    sim.run(steps)
+    checker.assert_ok()
+
+    resort = machine.trace.get("resort")
+    compile_phase = machine.trace.get("resort_plan")
+    stats = sim.fcs.plan_stats
+    planned = auditor.plan_ledger.get("resort")
+    audited = auditor.ledger.get("resort")
+    ledger_balanced = (
+        planned is not None
+        and audited is not None
+        and planned.messages <= audited.messages
+        and planned.bytes <= audited.bytes
+    )
+    # method-B steps after initialization (each resorts vel+acc+ids once)
+    b_steps = sum(1 for rec in sim.records if rec.changed)
+    return {
+        "fuse_resort": fuse,
+        "steps": steps,
+        "b_steps": b_steps,
+        "resort_messages": resort.messages,
+        "resort_bytes": resort.bytes,
+        "resort_time_modeled_s": resort.time,
+        "plan_compile_messages": compile_phase.messages,
+        "plan_compile_bytes": compile_phase.bytes,
+        "exchanges_total": stats.executions,
+        "exchanges_per_b_step": stats.executions / b_steps if b_steps else 0.0,
+        "plan_stats": {
+            "compiles": stats.compiles,
+            "cache_hits": stats.cache_hits,
+            "executions": stats.executions,
+            "fused_columns": stats.fused_columns,
+            "bytes_moved": stats.bytes_moved,
+            "hit_rate": stats.hit_rate,
+        },
+        "auditor": {
+            "plan_ledger_balanced": ledger_balanced,
+            "n_plan_executions": auditor.n_plan_executions,
+            "n_plan_fused_columns": auditor.n_plan_fused_columns,
+        },
+    }, sim.gather_state()
+
+
+def differential_ok(nprocs, n):
+    """A/B/B+move cross-oracle on a small instance (sweep defaults)."""
+    from repro.verify.differential import differential_check
+
+    report = differential_check("fmm", nprocs, steps=2, n_particles=n, seed=0)
+    return not report.failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=8)
+    parser.add_argument("--n", type=int, default=96)
+    parser.add_argument("--nprocs", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_resort.json")
+    args = parser.parse_args(argv)
+
+    fused, state_fused = run_variant(
+        True, nprocs=args.nprocs, n=args.n, steps=args.steps, seed=args.seed
+    )
+    split, state_split = run_variant(
+        False, nprocs=args.nprocs, n=args.n, steps=args.steps, seed=args.seed
+    )
+
+    identical = all(
+        np.array_equal(state_fused[k], state_split[k]) for k in state_fused
+    )
+    msg_ratio = (
+        split["resort_messages"] / fused["resort_messages"]
+        if fused["resort_messages"]
+        else float("inf")
+    )
+    diff_ok = differential_ok(4, 32)
+
+    result = {
+        "benchmark": "resort_plan_fused_vs_per_column",
+        "config": {
+            "solver": "fmm",
+            "method": "B",
+            "nprocs": args.nprocs,
+            "n": args.n,
+            "steps": args.steps,
+            "seed": args.seed,
+            "columns_per_step": 3,  # vel (n,3) f64, acc (n,3) f64, ids (n,) i64
+        },
+        "fused": fused,
+        "per_column": split,
+        "comparison": {
+            "trajectories_identical": identical,
+            "resort_messages_ratio_per_column_over_fused": msg_ratio,
+            "resort_bytes_ratio_per_column_over_fused": (
+                split["resort_bytes"] / fused["resort_bytes"]
+                if fused["resort_bytes"]
+                else float("inf")
+            ),
+        },
+        "differential_oracle_ok": diff_ok,
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    print(json.dumps(result, indent=2))
+
+    failures = []
+    if fused["exchanges_per_b_step"] != 1.0:
+        failures.append(
+            f"fused variant performed {fused['exchanges_per_b_step']} data "
+            "exchanges per method-B step, expected exactly 1"
+        )
+    if msg_ratio < 2.0:
+        failures.append(
+            f"fused resort-phase message reduction is only {msg_ratio:.2f}x, "
+            "expected >= 2x"
+        )
+    if not fused["auditor"]["plan_ledger_balanced"]:
+        failures.append("auditor plan ledger did not balance (fused variant)")
+    if not split["auditor"]["plan_ledger_balanced"]:
+        failures.append("auditor plan ledger did not balance (per-column variant)")
+    if not identical:
+        failures.append("fused and per-column trajectories differ")
+    if diff_ok is False:
+        failures.append("A/B differential oracle failed")
+    if failures:
+        print("\nBENCH FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nall resort-plan acceptance checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

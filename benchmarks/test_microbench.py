@@ -10,6 +10,8 @@ import pytest
 
 from repro.core.fine_grained import fine_grained_redistribute
 from repro.core.particles import ColumnBlock
+from repro.core.plan import ResortPlan
+from repro.core.resort import pack_resort_index
 from repro.md.systems import silica_melt_system
 from repro.simmpi.collectives import alltoallv
 from repro.simmpi.machine import Machine
@@ -61,6 +63,49 @@ def test_fine_grained_redistribution(benchmark, system):
         return fine_grained_redistribute(m, blocks, lambda r, b: targets[r], "x")
 
     benchmark(run)
+
+
+def _resort_problem(P, total, seed):
+    """Random resort indices + counts for the plan-engine benchmarks."""
+    rng = np.random.default_rng(seed)
+    src = np.sort(rng.integers(0, P, total))
+    old_counts = np.bincount(src, minlength=P)
+    dst = rng.integers(0, P, total)
+    new_counts = np.bincount(dst, minlength=P)
+    pos = np.empty(total, dtype=np.int64)
+    for r in range(P):
+        where = np.flatnonzero(dst == r)
+        pos[where] = rng.permutation(where.size)
+    offsets = np.concatenate(([0], np.cumsum(old_counts)))
+    indices = [
+        pack_resort_index(dst[offsets[r]:offsets[r + 1]], pos[offsets[r]:offsets[r + 1]])
+        for r in range(P)
+    ]
+    return indices, old_counts, new_counts
+
+
+def test_resort_plan_compile(benchmark):
+    P = 64
+    indices, old_counts, new_counts = _resort_problem(P, 16384, 7)
+
+    def run():
+        return ResortPlan(Machine(P), indices, old_counts, new_counts)
+
+    benchmark(run)
+
+
+def test_resort_plan_execute_fused(benchmark):
+    """One fused execute of the MD step's column set (vel, acc, ids)."""
+    P = 64
+    indices, old_counts, new_counts = _resort_problem(P, 16384, 7)
+    plan = ResortPlan(Machine(P), indices, old_counts, new_counts)
+    rng = np.random.default_rng(8)
+    cols = [
+        [rng.normal(size=(int(c), 3)) for c in old_counts],
+        [rng.normal(size=(int(c), 3)) for c in old_counts],
+        [np.arange(int(c), dtype=np.int64) for c in old_counts],
+    ]
+    benchmark(plan.execute, cols)
 
 
 def test_fmm_evaluate(benchmark, system):

@@ -35,10 +35,10 @@ SORT_PHASES = ("sort",)
 #: method A's restoration of the original order and distribution
 RESTORE_PHASES = ("restore",)
 #: the application's redistribution of additional particle data
-#: (``fcs_resort_floats``/``fcs_resort_ints``) — what Fig. 7 plots as
-#: "Resort"; the solver-internal resort-index creation stays inside the
+#: (``fcs.resort`` plus the one-off plan compilation) — what Fig. 7 plots
+#: as "Resort"; the solver-internal resort-index creation stays inside the
 #: total (it is the "additional communication step" of Sect. IV-D)
-RESORT_PHASES = ("resort",)
+RESORT_PHASES = ("resort", "resort_plan")
 #: everything that belongs to one solver execution + redistribution (the
 #: paper's "total runtime"; the application's integrator is excluded)
 SOLVER_PHASES = (
@@ -53,6 +53,7 @@ SOLVER_PHASES = (
     "restore",
     "resort_index",
     "resort",
+    "resort_plan",
 )
 
 

@@ -5,7 +5,11 @@ Public entry points
 -------------------
 :func:`~repro.core.handle.fcs_init` / :class:`~repro.core.handle.FCS`
     ScaFaCoS-like solver handle (``fcs_init``, ``fcs_set_common``,
-    ``fcs_tune``, ``fcs_run``, ``fcs_resort_floats``, ``fcs_destroy``).
+    ``fcs_tune``, ``fcs_run``, ``fcs_resort``, ``fcs_destroy``).
+:class:`~repro.core.plan.ResortPlan`
+    the plan-based resort engine: a run's resort indices compiled once into
+    a reusable schedule that moves any number of mixed-dtype data columns in
+    one fused exchange (see :meth:`~repro.core.handle.FCS.resort_plan`).
 :class:`~repro.core.particles.ParticleSet`
     the application's distributed particle data (positions, charges, and the
     per-rank capacity limits that gate method B).
@@ -23,6 +27,7 @@ Public entry points
 
 from repro.core.handle import FCS, fcs_init
 from repro.core.particles import ColumnBlock, ParticleSet
+from repro.core.plan import ResortPlan, ResortPlanStats
 from repro.core.resort import (
     RESORT_POS_BITS,
     pack_resort_index,
@@ -34,6 +39,8 @@ __all__ = [
     "fcs_init",
     "ColumnBlock",
     "ParticleSet",
+    "ResortPlan",
+    "ResortPlanStats",
     "RESORT_POS_BITS",
     "pack_resort_index",
     "unpack_resort_index",

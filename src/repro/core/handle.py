@@ -8,27 +8,35 @@ Mirrors the usage protocol of Sect. II-A of the paper:
 >>> fcs.tune(particles)                                # optional tuning step
 >>> report = fcs.run(particles)                        # compute interactions
 >>> if fcs.resort_availability():                      # did order change?
-...     vel = fcs.resort_floats(vel)                   # adapt extra data
+...     vel, acc, ids = fcs.resort((vel, acc, ids))    # adapt extra data
 >>> fcs.destroy()
 
 ``run`` computes potentials and fields for the particle positions/charges in
 a :class:`~repro.core.particles.ParticleSet`.  With resorting disabled
 (method A) the original particle order and distribution is restored; with
 resorting enabled (method B) the solver-specific order and distribution is
-returned whenever the application's local particle arrays are large enough,
-and :meth:`FCS.resort_floats` / :meth:`FCS.resort_ints` redistribute
-additional application data the solver does not know about (velocities,
-accelerations, ...).
+returned whenever the application's local particle arrays are large enough.
+
+Additional application data the solver does not know about (velocities,
+accelerations, ids, ...) is redistributed through the plan-based resort
+engine: :meth:`FCS.resort_plan` compiles the run's resort indices once into
+a reusable :class:`~repro.core.plan.ResortPlan` (cached across calls *and*
+across time steps while the distribution is unchanged), and
+:meth:`FCS.resort` moves any number of mixed-dtype data columns in a single
+fused exchange.  The historical per-dtype entry points
+(:meth:`FCS.resort_floats`, :meth:`FCS.resort_ints`,
+:meth:`FCS.resort_bytes`) remain as deprecated shims over the same engine.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import warnings
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.particles import ColumnBlock, ParticleSet
-from repro.core.resort import apply_resort
+from repro.core.particles import ParticleSet
+from repro.core.plan import ResortPlan, ResortPlanStats
 from repro.simmpi.machine import Machine
 from repro.solvers.base import RunReport, Solver
 
@@ -39,7 +47,13 @@ _REGISTRY: Dict[str, Callable[..., Solver]] = {}
 
 
 def register_solver(name: str, factory: Callable[..., Solver]) -> None:
-    """Register a solver factory under an ``fcs_init`` method name."""
+    """Register a solver factory under an ``fcs_init`` method name.
+
+    This is the extension point for third-party solvers: any callable with
+    the signature ``factory(machine, **kwargs) -> Solver`` can be registered
+    and then constructed by name through :func:`fcs_init`, exactly like the
+    built-in methods.  Re-registering a name replaces the previous factory.
+    """
     _REGISTRY[name] = factory
 
 
@@ -59,18 +73,40 @@ def _ensure_builtin_registry() -> None:
 
 
 def available_solvers() -> List[str]:
-    """Names accepted by :func:`fcs_init`."""
+    """Names accepted by :func:`fcs_init`.
+
+    Contains the built-in methods ("direct", "ewald", "fmm", "p2nfft") plus
+    anything added through :func:`register_solver`; custom solvers appear
+    here as soon as they are registered.
+    """
     _ensure_builtin_registry()
     return sorted(_REGISTRY)
 
 
-def fcs_init(method: str, machine: Machine, **solver_kwargs) -> "FCS":
-    """Create a new solver instance (``fcs_init``).
+def fcs_init(
+    method: Union[str, Solver], machine: Machine, **solver_kwargs
+) -> "FCS":
+    """Create a new solver handle (``fcs_init``).
 
-    ``method`` selects the solver ("fmm", "p2nfft", "direct"); ``machine``
+    ``method`` selects the solver — either a registry name ("fmm",
+    "p2nfft", "direct", "ewald", or anything added via
+    :func:`register_solver`) or an already-constructed :class:`Solver`
+    instance, which lets applications wrap solvers that take rich
+    construction arguments without registering a factory.  ``machine``
     plays the role of the MPI communicator specifying the group of parallel
     processes that execute the solver.
     """
+    if isinstance(method, Solver):
+        if solver_kwargs:
+            raise TypeError(
+                "solver keyword arguments only apply when constructing by "
+                "name; the given Solver instance is already constructed"
+            )
+        if method.machine is not machine:
+            raise ValueError(
+                "the Solver instance was constructed for a different machine"
+            )
+        return FCS(method, machine)
     _ensure_builtin_registry()
     try:
         factory = _REGISTRY[method]
@@ -90,6 +126,8 @@ class FCS:
         self._resort_requested = False
         self._max_move: Optional[float] = None
         self._last_report: Optional[RunReport] = None
+        self._plan: Optional[ResortPlan] = None
+        self._retired_plan_stats = ResortPlanStats()
         self._destroyed = False
 
     # -- configuration -----------------------------------------------------------
@@ -103,10 +141,16 @@ class FCS:
         """The underlying solver (for solver-specific setter functions)."""
         return self._solver
 
-    def set_common(self, box, offset=(0.0, 0.0, 0.0), periodic: bool = True) -> None:
-        """Set particle-system properties (``fcs_set_common``)."""
+    def set_common(
+        self, box, *, offset=(0.0, 0.0, 0.0), periodic: bool = True
+    ) -> None:
+        """Set particle-system properties (``fcs_set_common``).
+
+        ``offset`` and ``periodic`` are keyword-only (see
+        :meth:`repro.solvers.base.Solver.set_common`).
+        """
         self._check_alive()
-        self._solver.set_common(box, offset, periodic)
+        self._solver.set_common(box, offset=offset, periodic=periodic)
 
     def set_resort(self, flag: bool) -> None:
         """Opt into method B: request the solver-specific particle order and
@@ -165,39 +209,159 @@ class FCS:
         """
         return bool(self._last_report and self._last_report.changed)
 
-    def resort_floats(self, data: List[np.ndarray]) -> List[np.ndarray]:
-        """Redistribute additional per-particle float data
-        (``fcs_resort_floats``).
+    @property
+    def plan_stats(self) -> ResortPlanStats:
+        """Aggregated plan-engine statistics for this handle: schedule
+        compiles, cache hits, fused executions, columns and payload bytes
+        moved — across every plan this handle has compiled."""
+        stats = self._retired_plan_stats
+        if self._plan is not None:
+            stats = stats.merged(self._plan.stats)
+        return stats
 
-        ``data`` holds one array per rank in the *original* order and
-        distribution of the particles before the last run; shapes may be
-        ``(n_i,)`` or ``(n_i, k)``.  Returns the data in the changed order
-        and distribution.
+    def resort_plan(self) -> ResortPlan:
+        """Return the compiled redistribution plan for the last run's resort
+        indices (``fcs_resort_plan``).
+
+        The plan is compiled on first request and cached on the handle;
+        subsequent requests — including across later :meth:`run` calls whose
+        resort indices turn out identical (a particle distribution that did
+        not change between time steps) — reuse it after an explicit validity
+        check, skipping schedule compilation entirely.
         """
-        return self._resort(data, np.float64)
+        self._check_alive()
+        report = self._require_resort_report()
+        plan = self._plan
+        if plan is not None and plan.matches(
+            report.resort_indices,
+            report.old_counts,
+            report.new_counts,
+            comm=report.comm,
+        ):
+            plan.stats.cache_hits += 1
+            self.machine.trace.bump("resort_plan.cache_hits")
+            return plan
+        if plan is not None:
+            self._retired_plan_stats = self._retired_plan_stats.merged(plan.stats)
+        plan = ResortPlan(
+            self.machine,
+            report.resort_indices,
+            [int(c) for c in report.old_counts],
+            [int(c) for c in report.new_counts],
+            comm=report.comm,
+            phase="resort",
+        )
+        self._plan = plan
+        return plan
+
+    def resort(
+        self,
+        data,
+        columns=None,
+        *,
+        plan: Optional[ResortPlan] = None,
+    ):
+        """Redistribute additional per-particle data (``fcs_resort``).
+
+        The unified resort entry point: moves one or many data columns of
+        arbitrary dtype from the original to the changed order and
+        distribution in a **single** fused exchange, driven by the cached
+        :class:`~repro.core.plan.ResortPlan`.
+
+        Parameters
+        ----------
+        data:
+            either one column (a list with one array per rank — returned as
+            one list of arrays) or a sequence of columns
+            (``data[c][r]`` — returned as a list of columns).  Columns keep
+            their dtypes; shapes may be ``(n_i,)`` or ``(n_i, k)``.
+        plan:
+            an explicit plan from :meth:`resort_plan` (also accepted as the
+            first positional argument: ``fcs.resort(plan, data)``).  When
+            omitted, the handle's cached plan is used (compiling it if
+            needed).  A plan that no longer matches the last run's resort
+            indices raises ``ValueError``.
+        """
+        self._check_alive()
+        if isinstance(data, ResortPlan):
+            if plan is not None:
+                raise TypeError("pass the plan positionally or as plan=, not both")
+            if columns is None:
+                raise TypeError("fcs.resort(plan, data): data columns are required")
+            plan, data = data, columns
+        elif columns is not None:
+            raise TypeError(
+                "the second positional argument is only valid when the first "
+                "is a ResortPlan"
+            )
+        report = self._require_resort_report()
+        if plan is None:
+            plan = self.resort_plan()
+        elif not plan.matches(
+            report.resort_indices,
+            report.old_counts,
+            report.new_counts,
+            comm=report.comm,
+        ):
+            raise ValueError(
+                "stale resort plan: it does not match the last run's resort "
+                "indices; request a fresh one with fcs.resort_plan()"
+            )
+        data = list(data)
+        single = bool(data) and all(isinstance(a, np.ndarray) for a in data)
+        cols = [data] if single else data
+        for col in cols:
+            if len(col) != self.machine.nprocs:
+                raise ValueError(
+                    f"{len(col)} data arrays for {self.machine.nprocs} ranks"
+                )
+        out = plan.execute(cols)
+        return out[0] if single else out
+
+    # -- deprecated per-dtype entry points -----------------------------------------
+
+    def resort_floats(self, data: List[np.ndarray]) -> List[np.ndarray]:
+        """Deprecated: redistribute per-particle float data
+        (``fcs_resort_floats``).  Use :meth:`resort`, which moves any number
+        of mixed-dtype columns in one fused exchange."""
+        warnings.warn(
+            "FCS.resort_floats is deprecated; use FCS.resort, which fuses "
+            "any number of mixed-dtype columns into one exchange",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._legacy_resort(data, np.float64)
 
     def resort_ints(self, data: List[np.ndarray]) -> List[np.ndarray]:
-        """Redistribute additional per-particle integer data
-        (``fcs_resort_ints``)."""
-        return self._resort(data, np.int64)
+        """Deprecated: redistribute per-particle integer data
+        (``fcs_resort_ints``).  Use :meth:`resort`."""
+        warnings.warn(
+            "FCS.resort_ints is deprecated; use FCS.resort, which fuses "
+            "any number of mixed-dtype columns into one exchange",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._legacy_resort(data, np.int64)
 
     def resort_bytes(self, data: List[np.ndarray]) -> List[np.ndarray]:
-        """Redistribute additional per-particle raw byte data
-        (``fcs_resort_bytes``): arbitrary fixed-size per-particle records as
-        ``(n_i, k)`` uint8 arrays."""
-        return self._resort(data, np.uint8)
+        """Deprecated: redistribute per-particle raw byte data
+        (``fcs_resort_bytes``).  Use :meth:`resort`."""
+        warnings.warn(
+            "FCS.resort_bytes is deprecated; use FCS.resort, which fuses "
+            "any number of mixed-dtype columns into one exchange",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._legacy_resort(data, np.uint8)
 
-    def _resort(self, data: List[np.ndarray], dtype) -> List[np.ndarray]:
+    def _legacy_resort(self, data: List[np.ndarray], dtype) -> List[np.ndarray]:
         self._check_alive()
-        report = self._last_report
-        if report is None or not report.changed or report.resort_indices is None:
-            raise RuntimeError(
-                "resort indices unavailable: the last run did not return the "
-                "changed particle order (check resort_availability())"
-            )
+        report = self._require_resort_report()
         if len(data) != self.machine.nprocs:
-            raise ValueError(f"{len(data)} data arrays for {self.machine.nprocs} ranks")
-        blocks = []
+            raise ValueError(
+                f"{len(data)} data arrays for {self.machine.nprocs} ranks"
+            )
+        column = []
         for r, arr in enumerate(data):
             arr = np.ascontiguousarray(arr, dtype=dtype)
             expected = int(report.old_counts[r])
@@ -206,17 +370,17 @@ class FCS:
                     f"rank {r}: data has {arr.shape[0]} rows, original particle "
                     f"count was {expected}"
                 )
-            blocks.append(ColumnBlock(data=arr))
-        comm = "neighborhood" if report.strategy.endswith("neighborhood") else "alltoall"
-        out = apply_resort(
-            self.machine,
-            report.resort_indices,
-            blocks,
-            [int(c) for c in report.new_counts],
-            phase="resort",
-            comm=comm,
-        )
-        return [b["data"] for b in out]
+            column.append(arr)
+        return self.resort_plan().execute([column])[0]
+
+    def _require_resort_report(self) -> RunReport:
+        report = self._last_report
+        if report is None or not report.changed or report.resort_indices is None:
+            raise RuntimeError(
+                "resort indices unavailable: the last run did not return the "
+                "changed particle order (check resort_availability())"
+            )
+        return report
 
     # -- lifecycle ------------------------------------------------------------------------
 
@@ -224,6 +388,7 @@ class FCS:
         """Release the solver instance and its resources (``fcs_destroy``)."""
         if not self._destroyed:
             self._solver.destroy()
+            self._plan = None
             self._destroyed = True
 
     def _check_alive(self) -> None:

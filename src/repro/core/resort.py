@@ -36,6 +36,7 @@ __all__ = [
     "pack_resort_index",
     "unpack_resort_index",
     "initial_numbering",
+    "inverse_permutation",
     "invert_indices",
     "apply_resort",
 ]
@@ -87,6 +88,31 @@ def initial_numbering(counts: Sequence[int]) -> List[np.ndarray]:
         pack_resort_index(np.full(int(n), r, dtype=np.int64), np.arange(int(n), dtype=np.int64))
         for r, n in enumerate(counts)
     ]
+
+
+def inverse_permutation(positions: np.ndarray, n: int, rank: int) -> np.ndarray:
+    """Invert target positions into a scatter permutation, validating once.
+
+    ``positions[i]`` is the target slot of incoming row ``i``; the returned
+    ``perm`` satisfies ``out[p] = incoming[perm[p]]``.  Raises if the
+    positions do not hit each slot ``[0, n)`` exactly once — the permutation
+    contract every resort relies on (and the validation a compiled
+    :class:`~repro.core.plan.ResortPlan` performs once instead of per call).
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.shape != (n,):
+        raise ValueError(
+            f"rank {rank}: {positions.shape[0]} target positions for {n} slots"
+        )
+    if n and (
+        positions.min() < 0
+        or positions.max() >= n
+        or np.any(np.bincount(positions, minlength=n) != 1)
+    ):
+        raise ValueError(f"rank {rank}: target positions are not a permutation")
+    perm = np.empty(n, dtype=np.int64)
+    perm[positions] = np.arange(n, dtype=np.int64)
+    return perm
 
 
 def invert_indices(
@@ -156,12 +182,15 @@ def apply_resort(
 ) -> List[ColumnBlock]:
     """Redistribute additional particle data according to resort indices.
 
-    This is the engine behind ``fcs_resort_floats``/``fcs_resort_ints``:
-    each original particle's extra columns are sent to the target process
-    from its resort index and stored at the target position ("the
-    fine-grained data redistribution operation followed by a permutation
-    according to the target positions contained in the resort indices",
-    Sect. III-B).
+    This is the one-shot engine behind the legacy resort path: each original
+    particle's extra columns are sent to the target process from its resort
+    index and stored at the target position ("the fine-grained data
+    redistribution operation followed by a permutation according to the
+    target positions contained in the resort indices", Sect. III-B).  The
+    schedule (grouping, counts, target permutation) is recomputed — and an
+    8-byte index column shipped — on *every* call; repeated resorts with the
+    same indices should compile a :class:`~repro.core.plan.ResortPlan`
+    instead and reuse it.
     """
     if not (len(resort_indices) == len(data) == len(new_counts) == machine.nprocs):
         raise ValueError("per-rank sequences must have one entry per rank")
@@ -189,11 +218,7 @@ def apply_resort(
         if block.n != n:
             raise ValueError(f"rank {r}: received {block.n} rows, expected {n}")
         _, pos = unpack_resort_index(block["_resort"])
-        if n and (np.any(np.bincount(pos, minlength=n) != 1)):
-            raise ValueError(f"rank {r}: target positions are not a permutation")
-        inv = np.empty(n, dtype=np.int64)
-        inv[pos] = np.arange(n, dtype=np.int64)
-        result = block.drop("_resort").take(inv)
+        result = block.drop("_resort").take(inverse_permutation(pos, n, r))
         out.append(result)
         per_rank_bytes[r] = result.nbytes
     machine.copy(per_rank_bytes, phase)

@@ -5,8 +5,9 @@ second-order leapfrog integrator.  Per time step it updates positions,
 executes the solver (``fcs_run``), derives accelerations from the
 calculated field values, and updates velocities — Fig. 3's pseudocode.
 Method A keeps the application's own particle order and distribution;
-method B adopts the solver-specific one and resorts the velocities and
-accelerations through ``fcs_resort_floats`` after each run.
+method B adopts the solver-specific one and resorts the velocities,
+accelerations and ids through one fused plan-based ``fcs.resort`` exchange
+after each run.
 
 * :mod:`repro.md.systems` — particle system generation (the melting-silica
   analogue) with scaled sizes,

@@ -8,9 +8,9 @@ methods:
 * ``method="A"`` — the library restores the original particle order and
   distribution after every ``fcs_run`` (Sect. III-A),
 * ``method="B"`` — the application adopts the solver-specific order and
-  distribution; after each run the velocities and accelerations (and the
-  particle identities, via ``fcs_resort_ints``) are redistributed with the
-  solver-created resort indices (Sect. III-B),
+  distribution; after each run the velocities, accelerations and particle
+  identities are redistributed with the solver-created resort indices
+  (Sect. III-B) in one fused plan-based ``fcs.resort`` exchange,
 * ``method="B+move"`` — additionally the maximum particle movement measured
   during the position update is passed to the solver, enabling the
   merge-based parallel sorting (FMM) / neighborhood communication (P2NFFT).
@@ -63,6 +63,11 @@ class SimulationConfig:
     #: the A-vs-B choice (an extension beyond the paper: the application
     #: trials both redistribution methods online and keeps the cheaper one)
     adapt_every: int = 25
+    #: redistribute velocities, accelerations and ids in one fused
+    #: plan-based exchange (the default); ``False`` issues one exchange per
+    #: column through the same plan engine — the A/B knob behind the resort
+    #: benchmarks
+    fuse_resort: bool = True
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -120,7 +125,7 @@ class Simulation:
         self.acc: List[np.ndarray] = [np.zeros_like(p) for p in self.particles.pos]
 
         self.fcs: FCS = fcs_init(cfg.solver, machine, **cfg.solver_kwargs)
-        self.fcs.set_common(system.box, system.offset, periodic=True)
+        self.fcs.set_common(system.box, offset=system.offset, periodic=True)
         #: the redistribution method in effect this step ("A" or "B"/"B+move");
         #: fixed unless method="adaptive"
         self.active_method = "B" if cfg.method == "adaptive" else cfg.method
@@ -271,6 +276,7 @@ class Simulation:
                 + last.phase_time("restore")
                 + last.phase_time("resort")
                 + last.phase_time("resort_index")
+                + last.phase_time("resort_plan")
             )
             method_of_last = self._adaptive_trial or self.active_method
             self._method_costs[method_of_last] = redist
@@ -334,15 +340,23 @@ class Simulation:
 
     def _resort_application_data(self, report) -> None:
         """Adapt velocities, accelerations and identities to the changed
-        particle order and distribution (one ``fcs_resort_floats`` call for
-        the six float columns, one ``fcs_resort_ints`` for the ids)."""
-        packed = [
-            np.concatenate([v, a], axis=1) for v, a in zip(self.vel, self.acc)
-        ]
-        resorted = self.fcs.resort_floats(packed)
-        self.vel = [arr[:, :3].copy() for arr in resorted]
-        self.acc = [arr[:, 3:].copy() for arr in resorted]
-        self.ids = self.fcs.resort_ints(self.ids)
+        particle order and distribution.
+
+        The plan compiled from the run's resort indices is cached on the
+        handle, so across unchanged time steps only the data exchanges
+        remain.  With ``fuse_resort`` (the default) the six float columns
+        and the ids travel in ONE fused exchange; with it disabled each
+        column gets its own exchange (the legacy per-array traffic pattern,
+        kept for A/B benchmarking)."""
+        plan = self.fcs.resort_plan()
+        if self.config.fuse_resort:
+            self.vel, self.acc, self.ids = self.fcs.resort(
+                (self.vel, self.acc, self.ids), plan=plan
+            )
+        else:
+            self.vel = self.fcs.resort(self.vel, plan=plan)
+            self.acc = self.fcs.resort(self.acc, plan=plan)
+            self.ids = self.fcs.resort(self.ids, plan=plan)
 
     # -- observables -----------------------------------------------------------------
 

@@ -107,8 +107,10 @@ def _charge_alltoall(
         # MPI_Alltoall of one count integer (8 bytes) per peer, modeled as
         # Bruck's algorithm (what MPI implementations use for tiny items)
         per_rank = per_rank + model.bruck_alltoall_time(P, 8.0, topo.diameter())
-    elif count_exchange != "sparse":
-        raise ValueError(f"count_exchange must be 'dense' or 'sparse', got {count_exchange!r}")
+    elif count_exchange not in ("sparse", "cached"):
+        raise ValueError(
+            f"count_exchange must be 'dense', 'sparse' or 'cached', got {count_exchange!r}"
+        )
     bis = model.bisection_time(total_internode, topo.bisection_links())
     per_rank = np.maximum(per_rank, bis)
     machine.advance(
@@ -149,7 +151,11 @@ def alltoallv(
     count_exchange:
         ``"dense"`` (default) charges the ``MPI_Alltoall`` count exchange
         that a general redistribution needs; ``"sparse"`` skips it (known
-        communication structure).
+        neighborhood communication structure, peer-checked by an attached
+        auditor); ``"cached"`` also skips it — the counts are part of a
+        precompiled communication schedule (a
+        :class:`~repro.core.plan.ResortPlan`), which may target arbitrary
+        ranks, so no neighborhood contract applies.
 
     Returns
     -------

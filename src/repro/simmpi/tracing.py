@@ -72,10 +72,19 @@ class PhaseStats:
 
 
 class Trace:
-    """Mutable per-phase statistics store attached to a :class:`Machine`."""
+    """Mutable per-phase statistics store attached to a :class:`Machine`.
+
+    Besides the per-phase time/message/byte aggregates, the trace carries
+    free-form **event counters** (:meth:`bump`/:meth:`counter`) for
+    quantities that are not tied to clock advances — e.g. the plan engine's
+    ``resort_plan.compiles``/``resort_plan.cache_hits``/
+    ``resort_plan.fused_columns``/``resort_plan.bytes_moved`` statistics the
+    benchmark harness reads back out.
+    """
 
     def __init__(self) -> None:
         self._phases: Dict[str, PhaseStats] = {}
+        self._counters: Dict[str, int] = {}
 
     def record(
         self,
@@ -100,6 +109,20 @@ class Trace:
     def get(self, phase: str) -> PhaseStats:
         """Return the stats for ``phase`` (zeros if never recorded)."""
         return self._phases.get(phase, PhaseStats())
+
+    # -- event counters ---------------------------------------------------------
+
+    def bump(self, name: str, value: int = 1) -> None:
+        """Increment the event counter ``name`` by ``value``."""
+        self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of an event counter (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """Copy of all event counters."""
+        return dict(self._counters)
 
     def phases(self) -> Iterator[str]:
         return iter(sorted(self._phases))
@@ -134,6 +157,7 @@ class Trace:
 
     def clear(self) -> None:
         self._phases.clear()
+        self._counters.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rows = ", ".join(

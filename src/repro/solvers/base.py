@@ -29,7 +29,11 @@ import numpy as np
 from repro.core.particles import ParticleSet
 from repro.simmpi.machine import Machine
 
-__all__ = ["RunReport", "Solver"]
+__all__ = ["COMM_KINDS", "RunReport", "Solver"]
+
+#: the structured communication strategies a solver can report for its
+#: redistribution exchanges (mirrored by :data:`repro.core.plan.COMM_KINDS`)
+COMM_KINDS = ("alltoall", "neighborhood")
 
 
 @dataclasses.dataclass
@@ -46,8 +50,21 @@ class RunReport:
     old_counts: Optional[np.ndarray] = None
     #: per-rank particle counts after the run
     new_counts: Optional[np.ndarray] = None
-    #: which sorting/communication strategy the solver picked
+    #: which sorting/communication strategy the solver picked (free-form,
+    #: for display/diagnostics only — never parse this; use :attr:`comm`)
     strategy: str = ""
+    #: structured communication strategy for any follow-up redistribution of
+    #: application data: ``"alltoall"`` (general collective) or
+    #: ``"neighborhood"`` (known bounded-distance peers, Sect. III-B).
+    #: Every solver sets this explicitly; the resort engine dispatches on it
+    #: instead of sniffing the :attr:`strategy` string.
+    comm: str = "alltoall"
+
+    def __post_init__(self) -> None:
+        if self.comm not in COMM_KINDS:
+            raise ValueError(
+                f"RunReport.comm must be one of {COMM_KINDS}, got {self.comm!r}"
+            )
 
 
 class Solver:
@@ -68,6 +85,7 @@ class Solver:
     def set_common(
         self,
         box: Sequence[float],
+        *,
         offset: Sequence[float] = (0.0, 0.0, 0.0),
         periodic: bool = True,
     ) -> None:
@@ -75,7 +93,10 @@ class Solver:
 
         ``box`` holds the edge lengths of the axis-aligned system box (the
         general interface takes three base vectors; only orthorhombic boxes
-        are supported here).
+        are supported here).  ``offset`` and ``periodic`` are keyword-only:
+        a bare positional 3-vector after ``box`` cannot be told apart from a
+        box base-vector matrix at the call site, and a positional boolean is
+        meaningless to a reader.
         """
         self.box = np.asarray(box, dtype=np.float64)
         self.offset = np.asarray(offset, dtype=np.float64)

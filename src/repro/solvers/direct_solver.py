@@ -78,4 +78,5 @@ class DirectSolver(Solver):
             old_counts=counts,
             new_counts=counts,
             strategy="direct",
+            comm="alltoall",
         )

@@ -72,10 +72,10 @@ class EwaldSolver(Solver):
         self._kvecs: Optional[np.ndarray] = None
         self._green: Optional[np.ndarray] = None
 
-    def set_common(self, box, offset=(0.0, 0.0, 0.0), periodic: bool = True) -> None:
+    def set_common(self, box, *, offset=(0.0, 0.0, 0.0), periodic: bool = True) -> None:
         if not periodic:
             raise ValueError("the Ewald solver supports periodic systems only")
-        super().set_common(box, offset, periodic)
+        super().set_common(box, offset=offset, periodic=periodic)
 
     # -- tuning ------------------------------------------------------------------
 
@@ -201,6 +201,7 @@ class EwaldSolver(Solver):
                 old_counts=old_counts,
                 new_counts=new_counts,
                 strategy=strategy,
+                comm=comm,
             )
         restore_results(
             machine,
@@ -216,6 +217,7 @@ class EwaldSolver(Solver):
             old_counts=old_counts,
             new_counts=old_counts,
             strategy=strategy,
+            comm=comm,
         )
 
     # -- pieces --------------------------------------------------------------------

@@ -444,6 +444,7 @@ class FMMSolver(Solver):
                 old_counts=old_counts,
                 new_counts=new_counts,
                 strategy=strategy,
+                comm="alltoall",
             )
 
         restore_results(
@@ -460,4 +461,5 @@ class FMMSolver(Solver):
             old_counts=old_counts,
             new_counts=old_counts,
             strategy=strategy,
+            comm="alltoall",
         )

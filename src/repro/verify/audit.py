@@ -158,6 +158,16 @@ class CommAuditor:
         #: per-phase totals recomputed from raw send tables (audited
         #: primitives only — compare against Trace via `trace-accounting`)
         self.ledger: Dict[str, PhaseLedger] = {}
+        #: per-phase totals *as reported by the resort-plan engine itself*
+        #: (self-sends excluded) — an independent third accounting that the
+        #: ``plan-accounting`` invariant cross-checks against :attr:`ledger`:
+        #: a plan may never claim more traffic for a phase than its audited
+        #: exchanges actually produced
+        self.plan_ledger: Dict[str, PhaseLedger] = {}
+        #: running totals of plan-engine activity (diagnostics)
+        self.n_plan_compiles = 0
+        self.n_plan_executions = 0
+        self.n_plan_fused_columns = 0
         #: trace snapshot taken at attach time so the ledger (which only
         #: sees post-attach traffic) compares against trace *deltas*
         self.trace_baseline: Dict[str, object] = {}
@@ -198,6 +208,32 @@ class CommAuditor:
 
     def ledger_snapshot(self) -> Dict[str, PhaseLedger]:
         return {k: dataclasses.replace(v) for k, v in self.ledger.items()}
+
+    # -- plan-engine hooks --------------------------------------------------------
+
+    def observe_plan_compile(self, phase: Optional[str]) -> None:
+        """Note one resort-plan schedule compilation (diagnostics only; the
+        compile's index-distribution exchange is audited as a regular
+        alltoallv under its own phase)."""
+        self.n_plan_compiles += 1
+
+    def observe_plan_execution(
+        self, phase: Optional[str], messages: int, nbytes: int, columns: int
+    ) -> None:
+        """Record a fused plan execution's self-reported traffic totals.
+
+        The plan computes ``messages``/``nbytes`` from its own cached
+        schedule; the exchange it then performs is independently recomputed
+        from the raw send table by :meth:`observe_alltoallv`.  The
+        ``plan-accounting`` invariant compares the two.
+        """
+        self.n_plan_executions += 1
+        self.n_plan_fused_columns += int(columns)
+        label = phase if phase is not None else "other"
+        ledger = self.plan_ledger.get(label)
+        if ledger is None:
+            ledger = self.plan_ledger[label] = PhaseLedger()
+        ledger.add(messages, nbytes)
 
     # -- collective hooks ---------------------------------------------------------
 

@@ -48,8 +48,9 @@ METHODS = ("A", "B", "B+move")
 
 #: phases that constitute "redistribution" for the volume comparison: the
 #: sort into the solver layout, method A's restoration, and method B's
-#: resort-index redistribution of application data
-REDISTRIBUTION_PHASES = ("sort", "restore", "resort", "resort_index")
+#: resort-index redistribution of application data (including the plan
+#: engine's schedule-compilation exchanges)
+REDISTRIBUTION_PHASES = ("sort", "restore", "resort", "resort_index", "resort_plan")
 
 
 class DifferentialFailure(AssertionError):

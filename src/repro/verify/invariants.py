@@ -27,6 +27,10 @@ The catalog covers the failure modes a redistribution bug produces:
 ``trace-accounting``          per-phase ``messages``/``bytes`` in the machine
                               trace equal the sums the audited collectives
                               report (requires an attached CommAuditor)
+``plan-accounting``           the resort-plan engine's self-reported fused
+                              traffic never exceeds what its audited
+                              exchanges actually carried (requires an
+                              attached CommAuditor and executed plans)
 ``comm-quiescent``            no unmatched point-to-point send is pending
                               (requires an attached CommAuditor)
 ``energy-drift``              bounded total-energy drift in energy-tracked runs
@@ -76,7 +80,17 @@ SKIPPED = object()
 #: FMM and P2NFFT compute paths) are cost-model artifacts with no data plane
 #: to audit and are deliberately excluded
 AUDITED_PHASES = frozenset(
-    {"sort", "restore", "resort", "resort_index", "halo", "gather", "integrate", "tune"}
+    {
+        "sort",
+        "restore",
+        "resort",
+        "resort_index",
+        "resort_plan",
+        "halo",
+        "gather",
+        "integrate",
+        "tune",
+    }
 )
 
 
@@ -428,6 +442,35 @@ def _check_trace_accounting(checker: InvariantChecker) -> object:
             return (
                 f"phase {phase!r}: trace reports {stats.bytes - base_bytes} "
                 f"bytes, auditor counted {ledger.bytes}"
+            )
+    return None
+
+
+@invariant(
+    "plan-accounting",
+    "resort-plan self-reported traffic never exceeds the audited exchanges",
+)
+def _check_plan_accounting(checker: InvariantChecker) -> object:
+    auditor = checker.machine.auditor
+    plan_ledger = getattr(auditor, "plan_ledger", None)
+    if auditor is None or not plan_ledger:
+        return SKIPPED
+    for phase, planned in plan_ledger.items():
+        audited = auditor.ledger.get(phase)
+        if audited is None:
+            return (
+                f"phase {phase!r}: plan engine reports {planned.messages} "
+                "messages but no audited exchange was observed"
+            )
+        if planned.messages > audited.messages:
+            return (
+                f"phase {phase!r}: plan engine reports {planned.messages} "
+                f"messages, audited exchanges carried only {audited.messages}"
+            )
+        if planned.bytes > audited.bytes:
+            return (
+                f"phase {phase!r}: plan engine reports {planned.bytes} bytes, "
+                f"audited exchanges carried only {audited.bytes}"
             )
     return None
 

@@ -1,0 +1,354 @@
+"""The plan-based resort engine: fused exchanges, caching, unified API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.handle import fcs_init
+from repro.core.plan import ResortPlan
+from repro.core.resort import pack_resort_index
+from repro.simmpi.machine import Machine
+from repro.solvers.base import Solver
+from repro.solvers.fmm.solver import FMMSolver
+from repro.verify.audit import enable_auditing
+from conftest import random_particle_set
+
+
+def random_redistribution(nprocs, total, seed):
+    """A random resort problem: indices, old/new counts, per-rank row ids.
+
+    Every global row gets a random target rank and a random position within
+    that rank — the ground truth against which any execution path can be
+    checked exactly.
+    """
+    rng = np.random.default_rng(seed)
+    src = np.sort(rng.integers(0, nprocs, total))
+    old_counts = np.bincount(src, minlength=nprocs)
+    dst = rng.integers(0, nprocs, total)
+    new_counts = np.bincount(dst, minlength=nprocs)
+    # assign positions: a random permutation within each destination rank
+    pos = np.empty(total, dtype=np.int64)
+    for r in range(nprocs):
+        where = np.flatnonzero(dst == r)
+        pos[where] = rng.permutation(where.size)
+    indices = []
+    offsets = np.concatenate(([0], np.cumsum(old_counts)))
+    for r in range(nprocs):
+        sl = slice(offsets[r], offsets[r + 1])
+        indices.append(pack_resort_index(dst[sl], pos[sl]))
+    return indices, old_counts, new_counts, dst, pos, offsets
+
+
+def expected_layout(values, dst, pos, new_counts, offsets, nprocs):
+    """Directly scatter per-row ``values`` into the target layout."""
+    out = []
+    for r in range(nprocs):
+        rows = np.flatnonzero(dst == r)
+        block = np.empty((int(new_counts[r]),) + values.shape[1:], values.dtype)
+        block[pos[rows]] = values[rows]
+        out.append(block)
+    return out
+
+
+class TestFusedExchange:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nprocs=st.integers(min_value=1, max_value=6),
+        total=st.integers(min_value=0, max_value=80),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_fused_mixed_dtypes_match_ground_truth(self, nprocs, total, seed):
+        """One fused exchange of mixed-dtype columns lands every row exactly
+        where the resort indices say, byte for byte."""
+        indices, old_counts, new_counts, dst, pos, offsets = random_redistribution(
+            nprocs, total, seed
+        )
+        machine = Machine(nprocs)
+        plan = ResortPlan(machine, indices, old_counts, new_counts)
+
+        rng = np.random.default_rng(seed + 1)
+        floats = rng.normal(size=(total, 3))
+        ints = rng.integers(-(2**40), 2**40, total)
+        bytes_ = rng.integers(0, 256, (total, 5)).astype(np.uint8)
+        f32 = rng.normal(size=total).astype(np.float32)
+
+        def split(values):
+            return [values[offsets[r]:offsets[r + 1]] for r in range(nprocs)]
+
+        out = plan.execute([split(floats), split(ints), split(bytes_), split(f32)])
+        for values, got in zip((floats, ints, bytes_, f32), out):
+            want = expected_layout(values, dst, pos, new_counts, offsets, nprocs)
+            assert all(g.dtype == values.dtype for g in got)
+            for r in range(nprocs):
+                np.testing.assert_array_equal(got[r], want[r])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nprocs=st.integers(min_value=1, max_value=6),
+        total=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_fused_equals_sequential_per_column(self, nprocs, total, seed):
+        """Fusing k columns into one exchange is byte-for-byte identical to
+        k sequential single-column executions of the same plan."""
+        indices, old_counts, new_counts, _, _, offsets = random_redistribution(
+            nprocs, total, seed
+        )
+        machine = Machine(nprocs)
+        plan = ResortPlan(machine, indices, old_counts, new_counts)
+
+        rng = np.random.default_rng(seed + 2)
+        cols = [
+            [rng.normal(size=(int(c), 2)) for c in old_counts],
+            [rng.integers(0, 2**31, int(c)) for c in old_counts],
+        ]
+        fused = plan.execute(cols)
+        sequential = [plan.execute([col])[0] for col in cols]
+        for got, want in zip(fused, sequential):
+            for r in range(nprocs):
+                np.testing.assert_array_equal(got[r], want[r])
+
+    def test_fused_exchange_message_count(self):
+        """A fused execute costs one exchange round: its traced resort-phase
+        message count equals one single-column execute's, regardless of how
+        many columns ride along."""
+        indices, old_counts, new_counts, _, _, _ = random_redistribution(4, 60, 9)
+        m1, m2 = Machine(4), Machine(4)
+        plan1 = ResortPlan(m1, indices, old_counts, new_counts)
+        plan2 = ResortPlan(m2, indices, old_counts, new_counts)
+        one = [[np.zeros(int(c)) for c in old_counts]]
+        three = one + [
+            [np.zeros((int(c), 3)) for c in old_counts],
+            [np.zeros(int(c), dtype=np.int64) for c in old_counts],
+        ]
+        plan1.execute(one)
+        plan2.execute(three)
+        assert m1.trace.get("resort").messages == m2.trace.get("resort").messages
+
+    def test_validation_errors(self):
+        indices, old_counts, new_counts, _, _, _ = random_redistribution(3, 20, 5)
+        machine = Machine(3)
+        with pytest.raises(ValueError, match="original particles"):
+            ResortPlan(machine, indices, np.asarray(old_counts) + 1, new_counts)
+        # duplicate a target position within one destination (counts still
+        # balance, but the targets no longer form a permutation)
+        dup = pack_resort_index(
+            np.zeros(4, dtype=np.int64), np.array([0, 0, 2, 3], dtype=np.int64)
+        )
+        empty = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError, match="not a permutation"):
+            ResortPlan(Machine(3), [dup, empty, empty], [4, 0, 0], [4, 0, 0])
+        plan = ResortPlan(Machine(3), indices, old_counts, new_counts)
+        with pytest.raises(ValueError, match="original particle count"):
+            plan.execute([[np.zeros(int(c) + 1) for c in old_counts]])
+        with pytest.raises(ValueError, match="at least one data column"):
+            plan.execute([])
+        mixed = [np.zeros(int(c), dtype=np.float64) for c in old_counts]
+        mixed[-1] = mixed[-1].astype(np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            plan.execute([mixed])
+
+
+class TestPlanCache:
+    def test_matches_and_invalidation(self):
+        indices, old_counts, new_counts, _, _, _ = random_redistribution(4, 40, 3)
+        plan = ResortPlan(Machine(4), indices, old_counts, new_counts)
+        # identity fast path and equal-content copies both hit
+        assert plan.matches(indices)
+        assert plan.matches([idx.copy() for idx in indices])
+        assert plan.matches(indices, old_counts, new_counts, comm="alltoall")
+        # any change to the distribution invalidates
+        assert not plan.matches(indices, comm="neighborhood")
+        changed = [idx.copy() for idx in indices]
+        nonempty = next(r for r in range(4) if changed[r].size)
+        changed[nonempty] = changed[nonempty][::-1].copy()
+        if not np.array_equal(changed[nonempty], indices[nonempty]):
+            assert not plan.matches(changed)
+
+    def test_fcs_caches_across_calls_and_steps(self, small_system):
+        machine = Machine(4)
+        pset, _ = random_particle_set(small_system, 4, seed=2)
+        fcs = fcs_init("fmm", machine, order=3, depth=3, lattice_shells=2)
+        fcs.set_common(small_system.box, offset=small_system.offset, periodic=True)
+        fcs.set_resort(True)
+        fcs.tune(pset)
+        fcs.run(pset)
+        plan = fcs.resort_plan()
+        assert fcs.resort_plan() is plan  # repeated request within a step
+        # the method-B run replaced the application layout with the solver
+        # layout, so the *next* run resorts from there: new indices, one
+        # recompile — after which unmoved particles keep producing the same
+        # indices and the plan survives the time steps
+        fcs.run(pset)
+        second = fcs.resort_plan()
+        fcs.run(pset)
+        assert fcs.resort_plan() is second
+        stats = fcs.plan_stats
+        assert stats.compiles == 2
+        assert stats.cache_hits == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert machine.trace.counter("resort_plan.compiles") == 2
+        assert machine.trace.counter("resort_plan.cache_hits") == 2
+
+    def test_stale_explicit_plan_rejected(self, small_system):
+        machine = Machine(4)
+        pset, _ = random_particle_set(small_system, 4, seed=2)
+        fcs = fcs_init("fmm", machine, order=3, depth=3, lattice_shells=2)
+        fcs.set_common(small_system.box, offset=small_system.offset, periodic=True)
+        fcs.set_resort(True)
+        fcs.tune(pset)
+        report = fcs.run(pset)
+        # a plan compiled for a *different* redistribution of the same shape
+        old_counts = [int(c) for c in report.old_counts]
+        other_indices, oc, nc, _, _, _ = random_redistribution(
+            4, int(sum(old_counts)), 77
+        )
+        if [int(c) for c in oc] != old_counts or not ResortPlan(
+            Machine(4), other_indices, oc, nc
+        ).matches(report.resort_indices, report.old_counts, report.new_counts):
+            stale = ResortPlan(Machine(4), other_indices, oc, nc)
+            data = [np.zeros((n, 3)) for n in old_counts]
+            with pytest.raises((ValueError, RuntimeError), match="stale resort plan"):
+                fcs.resort(data, plan=stale)
+
+    def test_recompiles_when_distribution_changes(self, small_system):
+        machine = Machine(4)
+        pset, _ = random_particle_set(small_system, 4, seed=2)
+        fcs = fcs_init("fmm", machine, order=3, depth=3, lattice_shells=2)
+        fcs.set_common(small_system.box, offset=small_system.offset, periodic=True)
+        fcs.set_resort(True)
+        fcs.tune(pset)
+        fcs.run(pset)
+        first = fcs.resort_plan()
+        # move the particles so the space-filling-curve partition changes
+        rng = np.random.default_rng(11)
+        pset.pos = [
+            np.mod(p + rng.uniform(2.0, 6.0, p.shape), small_system.box)
+            for p in pset.pos
+        ]
+        fcs.run(pset)
+        second = fcs.resort_plan()
+        if not first.matches(
+            fcs.last_report.resort_indices,
+            fcs.last_report.old_counts,
+            fcs.last_report.new_counts,
+        ):
+            assert second is not first
+            assert fcs.plan_stats.compiles == 2
+
+
+class TestAuditedPlan:
+    def test_plan_ledger_balances_against_audited_exchange(self):
+        indices, old_counts, new_counts, _, _, _ = random_redistribution(4, 64, 13)
+        machine = Machine(4)
+        auditor = enable_auditing(machine)
+        plan = ResortPlan(machine, indices, old_counts, new_counts)
+        cols = [
+            [np.random.default_rng(r).normal(size=(int(c), 3)) for r, c in enumerate(old_counts)],
+            [np.arange(int(c), dtype=np.int64) for c in old_counts],
+        ]
+        plan.execute(cols)
+        plan.execute(cols)
+        assert auditor.n_plan_compiles == 1
+        assert auditor.n_plan_executions == 2
+        assert auditor.n_plan_fused_columns == 4
+        planned = auditor.plan_ledger["resort"]
+        audited = auditor.ledger["resort"]
+        # the audited exchange is recomputed independently from the raw send
+        # tables; the plan's self-reported traffic must never exceed it
+        assert planned.messages <= audited.messages
+        assert planned.bytes <= audited.bytes
+        assert planned.bytes == plan.stats.bytes_moved
+        # and the compile exchange is accounted under its own phase
+        assert "resort_plan" in auditor.ledger
+
+    def test_auditor_validates_plan_exchanges(self):
+        """The fused exchange still passes the auditor's full alltoallv
+        checks (count symmetry, completeness) even though the count
+        exchange itself is skipped."""
+        indices, old_counts, new_counts, _, _, _ = random_redistribution(6, 90, 21)
+        machine = Machine(6)
+        enable_auditing(machine, strict=True)
+        plan = ResortPlan(machine, indices, old_counts, new_counts)
+        out = plan.execute([[np.full(int(c), r, dtype=np.int32) for r, c in enumerate(old_counts)]])
+        assert sum(a.shape[0] for a in out[0]) == int(sum(old_counts))
+
+
+class TestSimulationIntegration:
+    def _run(self, fuse, steps=3):
+        from repro.md.simulation import Simulation, SimulationConfig
+        from repro.md.systems import silica_melt_system
+        from repro.verify import InvariantChecker
+
+        machine = Machine(4)
+        sim = Simulation(
+            machine,
+            silica_melt_system(48, seed=5),
+            SimulationConfig(
+                solver="fmm", method="B", distribution="random", seed=5,
+                fuse_resort=fuse,
+                solver_kwargs={"order": 3, "depth": 3, "lattice_shells": 2},
+            ),
+        )
+        auditor = enable_auditing(machine)
+        checker = InvariantChecker(sim)
+        sim.run(steps)
+        checker.assert_ok()
+        return sim, auditor
+
+    def test_fused_and_per_column_trajectories_agree(self):
+        fused, aud_fused = self._run(fuse=True)
+        split, aud_split = self._run(fuse=False)
+        a, b = fused.gather_state(), split.gather_state()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+        # same plans either way; fusion only collapses the exchange count
+        assert aud_fused.n_plan_executions < aud_split.n_plan_executions
+        assert aud_fused.n_plan_fused_columns == aud_split.n_plan_fused_columns
+        planned = aud_fused.plan_ledger["resort"]
+        audited = aud_fused.ledger["resort"]
+        assert planned.messages <= audited.messages
+        assert planned.bytes <= audited.bytes
+
+
+class TestHandleAPI:
+    def test_fcs_init_accepts_solver_instance(self, small_system):
+        machine = Machine(4)
+        solver = FMMSolver(machine, order=3, depth=3, lattice_shells=2)
+        fcs = fcs_init(solver, machine)
+        assert fcs.solver is solver
+        assert fcs.method == "fmm"
+        with pytest.raises(TypeError, match="already constructed"):
+            fcs_init(solver, machine, order=5)
+        with pytest.raises(ValueError, match="different machine"):
+            fcs_init(solver, Machine(4))
+
+    def test_set_common_rejects_positional_offset(self, small_system):
+        fcs = fcs_init("fmm", Machine(4))
+        with pytest.raises(TypeError):
+            fcs.set_common(small_system.box, small_system.offset)
+        with pytest.raises(TypeError):
+            Solver(Machine(2)).set_common(small_system.box, (0.0, 0.0, 0.0))
+
+    def test_resort_rejects_data_pair_without_plan(self, small_system):
+        fcs = fcs_init("fmm", Machine(4))
+        with pytest.raises(TypeError, match="ResortPlan"):
+            fcs.resort([np.zeros(3)], [np.zeros(3)])
+
+    def test_runreport_comm_is_structured(self, small_system):
+        from repro.solvers.base import RunReport
+
+        with pytest.raises(ValueError, match="comm must be one of"):
+            RunReport(changed=False, comm="grid+neighborhood")
+        machine = Machine(4)
+        pset, _ = random_particle_set(small_system, 4, seed=2)
+        fcs = fcs_init("p2nfft", machine, cutoff=4.0)
+        fcs.set_common(small_system.box, periodic=True)
+        fcs.set_resort(True)
+        fcs.tune(pset)
+        fcs.set_max_particle_move(0.01)
+        report = fcs.run(pset)
+        assert report.comm in ("alltoall", "neighborhood")
+        if report.strategy.endswith("neighborhood"):
+            assert report.comm == "neighborhood"

@@ -62,7 +62,7 @@ class TestMethodB:
         m, pset, owner, report, fcs = run(small_system, 4, method="B")
         assert report.changed
         old_pos = [small_system.pos[owner == r] * 2.0 for r in range(4)]
-        tagged = fcs.resort_floats(old_pos)
+        tagged = fcs.resort(old_pos)
         for r in range(4):
             np.testing.assert_allclose(tagged[r], pset.pos[r] * 2.0)
 

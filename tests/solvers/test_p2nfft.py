@@ -151,7 +151,7 @@ class TestSolver:
         m = Machine(nprocs)
         pset, owner = random_particle_set(system, nprocs, seed=6)
         fcs = fcs_init("p2nfft", m, cutoff=3.0, **kwargs)
-        fcs.set_common(system.box, system.offset, periodic=True)
+        fcs.set_common(system.box, offset=system.offset, periodic=True)
         if method == "B":
             fcs.set_resort(True)
         fcs.tune(pset, 1e-4)

@@ -103,7 +103,8 @@ class TestResortBytes:
             np.round(p[:, 0] * 1e6).astype(np.int64).view(np.uint8).reshape(-1, 8)
             for p in old_pos
         ]
-        out = fcs.resort_bytes(tags)
+        with pytest.warns(DeprecationWarning, match="resort_bytes is deprecated"):
+            out = fcs.resort_bytes(tags)
         for r in range(P):
             expected = np.round(pset.pos[r][:, 0] * 1e6).astype(np.int64)
             got = out[r].reshape(-1, 8).copy().view(np.int64).ravel()
