@@ -144,9 +144,20 @@ PRESETS: Dict[str, BenchScale] = {
 }
 
 
-def make_machine(nprocs: int, profile: SystemProfile) -> Machine:
-    """A fresh simulated machine for one benchmark configuration."""
-    return Machine(nprocs, profile=profile)
+def make_machine(
+    nprocs: int,
+    profile: SystemProfile,
+    *,
+    perturbation=None,
+) -> Machine:
+    """A fresh simulated machine for one benchmark configuration.
+
+    ``perturbation`` optionally applies a seeded
+    :class:`~repro.simmpi.chaos.Perturbation` (chaos-harness fault
+    injection) before any cost is charged; benchmarks normally leave it
+    ``None``.
+    """
+    return Machine(nprocs, profile=profile, perturbation=perturbation)
 
 
 _SYSTEM_CACHE: Dict[tuple, ParticleSystem] = {}

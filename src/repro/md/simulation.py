@@ -68,6 +68,10 @@ class SimulationConfig:
     #: column through the same plan engine — the A/B knob behind the resort
     #: benchmarks
     fuse_resort: bool = True
+    #: optional :class:`~repro.simmpi.chaos.Perturbation` applied to the
+    #: machine before any cost is charged (the DST chaos harness); ``None``
+    #: leaves the machine untouched
+    perturbation: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -115,6 +119,8 @@ class Simulation:
         self.system = system
         self.config = config or SimulationConfig()
         cfg = self.config
+        if cfg.perturbation is not None:
+            machine.perturb(cfg.perturbation)
 
         self.particles, self.vel, owner = distribute(
             system, machine.nprocs, cfg.distribution, seed=cfg.seed

@@ -24,6 +24,7 @@ exchange), ``allgatherv`` (splitter selection), ``allreduce`` (max-movement
 determination) and so on.
 """
 
+from repro.simmpi.chaos import MailboxScheduler, Perturbation
 from repro.simmpi.costmodel import CostModel, SystemProfile, JUROPA, JUQUEEN, LOCAL
 from repro.simmpi.machine import Machine
 from repro.simmpi.topology import (
@@ -44,6 +45,8 @@ __all__ = [
     "JUROPA",
     "LOCAL",
     "Machine",
+    "MailboxScheduler",
+    "Perturbation",
     "PhaseTimer",
     "SPMDContext",
     "SPMDDeadlock",

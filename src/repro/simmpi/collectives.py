@@ -113,6 +113,9 @@ def _charge_alltoall(
         )
     bis = model.bisection_time(total_internode, topo.bisection_links())
     per_rank = np.maximum(per_rank, bis)
+    if machine.comm_factors is not None:
+        # a degraded NIC slows down every message that rank posts or receives
+        per_rank = per_rank * machine.comm_factors
     machine.advance(
         per_rank,
         phase,
@@ -204,6 +207,7 @@ def allgatherv(
     machine.synchronize()
     t = machine.model.tree_collective_time(P, 0.0, machine.topology.diameter())
     t += (P - 1) / max(P, 1) * total_bytes / machine.model.bandwidth if P > 1 else 0.0
+    t *= machine.comm_factor()
     t += float(machine.model.copy_time(total_bytes))
     if machine.auditor is not None:
         machine.auditor.observe_collective(
@@ -226,6 +230,7 @@ def allgather_scalars(
         raise ValueError(f"expected shape ({P},), got {vals.shape}")
     machine.synchronize()
     t = machine.model.tree_collective_time(P, 8.0 * P, machine.topology.diameter())
+    t *= machine.comm_factor()
     if machine.auditor is not None:
         machine.auditor.observe_collective(phase, 2 * max(0, P - 1), 8 * P * max(0, P - 1))
     machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=8 * P * max(0, P - 1))
@@ -258,6 +263,7 @@ def allreduce(
     item_bytes = float(np.asarray(values[0], dtype=np.float64).nbytes)
     machine.synchronize()
     t = machine.model.tree_collective_time(P, item_bytes, machine.topology.diameter())
+    t *= machine.comm_factor()
     if machine.auditor is not None:
         machine.auditor.observe_collective(
             phase, 2 * max(0, P - 1), int(item_bytes) * 2 * max(0, P - 1)
@@ -280,6 +286,7 @@ def bcast(
     arr = np.asarray(value)
     machine.synchronize()
     t = machine.model.tree_collective_time(P, float(arr.nbytes), machine.topology.diameter())
+    t *= machine.comm_factor()
     if machine.auditor is not None:
         machine.auditor.observe_collective(phase, max(0, P - 1), arr.nbytes * max(0, P - 1))
     machine.advance(t, phase, messages=max(0, P - 1), nbytes=arr.nbytes * max(0, P - 1))
@@ -307,8 +314,10 @@ def gatherv(
     for i, a in enumerate(arrays):
         if i == root:
             continue
-        per_rank[i] += float(model.msg_time(hops[i], a.nbytes))
-    per_rank[root] += model.overhead * (P - 1) + total_bytes / model.bandwidth
+        per_rank[i] += float(model.msg_time(hops[i], a.nbytes)) * machine.comm_factor(root, i)
+    per_rank[root] += (
+        model.overhead * (P - 1) + total_bytes / model.bandwidth
+    ) * machine.comm_factor(root)
     per_rank[root] += float(model.copy_time(total_bytes))
     if machine.auditor is not None:
         machine.auditor.observe_collective(phase, max(0, P - 1), int(total_bytes))
@@ -340,12 +349,14 @@ def scatterv(
     model = machine.model
     per_rank = np.zeros(P)
     hops = machine.topology.hops(np.full(P, root), np.arange(P))
-    per_rank[root] += model.overhead * (P - 1) + total_bytes / model.bandwidth
+    per_rank[root] += (
+        model.overhead * (P - 1) + total_bytes / model.bandwidth
+    ) * machine.comm_factor(root)
     per_rank[root] += float(model.copy_time(total_bytes))
     for i, a in enumerate(arrays):
         if i == root:
             continue
-        per_rank[i] += float(model.msg_time(hops[i], a.nbytes))
+        per_rank[i] += float(model.msg_time(hops[i], a.nbytes)) * machine.comm_factor(root, i)
         # receivers cannot finish before the root has pushed everything out
         per_rank[i] = max(per_rank[i], per_rank[root])
     if machine.auditor is not None:

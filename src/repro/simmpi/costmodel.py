@@ -179,6 +179,34 @@ class CostModel:
         """Local pack/unpack time for moving ``nbytes`` through memory."""
         return np.asarray(nbytes, dtype=np.float64) / self.copy_bandwidth
 
+    # -- chaos-harness derivation ---------------------------------------------
+
+    def perturbed(
+        self,
+        *,
+        extra_overhead: float = 0.0,
+        bandwidth_factor: float = 1.0,
+    ) -> "CostModel":
+        """A derived model with fault-injection adjustments applied.
+
+        ``extra_overhead`` adds per-message latency to ``o`` (charged on
+        every message); ``bandwidth_factor`` scales the inter-node link
+        bandwidth (degraded links).  With both at their neutral values the
+        model itself is returned, so the null perturbation of the chaos
+        harness (:mod:`repro.simmpi.chaos`) cannot introduce cost drift.
+        """
+        if extra_overhead < 0:
+            raise ValueError("extra_overhead must be non-negative")
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if extra_overhead == 0.0 and bandwidth_factor == 1.0:
+            return self
+        return dataclasses.replace(
+            self,
+            overhead=self.overhead + extra_overhead,
+            bandwidth=self.bandwidth * bandwidth_factor,
+        )
+
     def compute_time(self, seconds: np.ndarray | float) -> np.ndarray:
         """Scale nominal (JuRoPA-core) compute seconds by the CPU rate."""
         return np.asarray(seconds, dtype=np.float64) / self.compute_rate

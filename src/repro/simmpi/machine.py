@@ -45,6 +45,7 @@ class Machine:
         topology: Optional[Topology] = None,
         cost_model: Optional[CostModel] = None,
         profile: Optional[SystemProfile] = None,
+        perturbation: Optional["Perturbation"] = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
@@ -68,6 +69,63 @@ class Machine:
         #: optional :class:`~repro.verify.audit.CommAuditor` observing every
         #: communication primitive (attach via ``repro.verify.enable_auditing``)
         self.auditor = None
+        #: optional :class:`~repro.simmpi.chaos.Perturbation` consulted when
+        #: charging costs (never when moving data) — see :meth:`perturb`
+        self.perturbation = None
+        self._compute_factors: Optional[np.ndarray] = None
+        self._comm_factors: Optional[np.ndarray] = None
+        self._initial_clocks: Optional[np.ndarray] = None
+        if perturbation is not None:
+            self.perturb(perturbation)
+
+    # -- chaos harness --------------------------------------------------------
+
+    def perturb(self, perturbation: "Perturbation") -> None:
+        """Apply a seeded :class:`~repro.simmpi.chaos.Perturbation`.
+
+        Must happen before any cost has been charged: the perturbation skews
+        the startup clocks and swaps in the degraded cost model, neither of
+        which can be applied retroactively.  The null perturbation (all
+        knobs zero) leaves the machine byte-identical to an unperturbed one.
+        Applying the same perturbation object twice is a no-op.
+        """
+        if self.perturbation is perturbation:
+            return
+        if self.perturbation is not None:
+            raise RuntimeError("machine already carries a perturbation")
+        if float(self.clocks.max()) != 0.0 or self.trace.total_time() != 0.0:
+            raise RuntimeError(
+                "perturbation must be applied before any cost is charged"
+            )
+        self.perturbation = perturbation
+        self.trace.note("perturbation", perturbation.describe())
+        if perturbation.is_null:
+            return
+        self.model = perturbation.effective_model(self.model)
+        self._compute_factors = perturbation.compute_factors(self.nprocs)
+        self._comm_factors = perturbation.comm_factors(self.nprocs)
+        self._initial_clocks = perturbation.initial_clocks(self.nprocs)
+        if self._initial_clocks is not None:
+            self.clocks[:] = self._initial_clocks
+
+    def comm_factor(self, *ranks: int) -> float:
+        """Communication slowdown of a message touching ``ranks``.
+
+        The slowest involved endpoint dominates; with no arguments this is
+        the machine-wide worst factor (used by synchronizing collectives).
+        Exactly ``1.0`` on an unperturbed machine, so multiplying by it is
+        the float identity.
+        """
+        if self._comm_factors is None:
+            return 1.0
+        if not ranks:
+            return float(self._comm_factors.max())
+        return float(max(self._comm_factors[r] for r in ranks))
+
+    @property
+    def comm_factors(self) -> Optional[np.ndarray]:
+        """Per-rank communication slowdowns (``None`` when uniform)."""
+        return self._comm_factors
 
     # -- clock access ---------------------------------------------------------
 
@@ -76,8 +134,13 @@ class Machine:
         return float(self.clocks.max())
 
     def reset_clocks(self) -> None:
-        self.clocks[:] = 0.0
+        if self._initial_clocks is not None:
+            self.clocks[:] = self._initial_clocks
+        else:
+            self.clocks[:] = 0.0
         self.trace.clear()
+        if self.perturbation is not None:
+            self.trace.note("perturbation", self.perturbation.describe())
 
     def synchronize(self, ranks: Optional[Sequence[int]] = None) -> float:
         """Align clocks of ``ranks`` (default: all) to their maximum.
@@ -119,17 +182,28 @@ class Machine:
         nominal_seconds: np.ndarray | float,
         phase: Optional[str] = None,
     ) -> None:
-        """Charge a compute phase of per-rank nominal (JuRoPA-core) seconds."""
-        self.advance(self.model.compute_time(nominal_seconds), phase)
+        """Charge a compute phase of per-rank nominal (JuRoPA-core) seconds.
+
+        An active perturbation scales each rank's time by its jitter/
+        straggler factor — the clocks diverge, the computed data does not.
+        """
+        t = self.model.compute_time(nominal_seconds)
+        if self._compute_factors is not None:
+            t = t * self._compute_factors
+        self.advance(t, phase)
 
     def copy(self, per_rank_bytes: np.ndarray | float, phase: Optional[str] = None) -> None:
         """Charge local pack/unpack (memcpy) work."""
-        self.advance(self.model.copy_time(per_rank_bytes), phase)
+        t = self.model.copy_time(per_rank_bytes)
+        if self._compute_factors is not None:
+            t = t * self._compute_factors
+        self.advance(t, phase)
 
     def barrier(self, phase: Optional[str] = None) -> None:
         """Tree barrier across all ranks."""
         self.synchronize()
         t = self.model.tree_collective_time(self.nprocs, 8.0, self.topology.diameter())
+        t *= self.comm_factor()
         messages = 2 * max(0, self.nprocs - 1)
         if self.auditor is not None:
             self.auditor.observe_collective(phase, messages, 0)

@@ -43,7 +43,12 @@ def sendrecv(
     hops = int(machine.topology.hops(src, dst))
     before = machine.clocks.max()
     send_done = machine.clocks[src] + model.overhead + float(model.copy_time(nbytes))
-    arrival = send_done + float(model.msg_time(hops, nbytes)) - model.overhead
+    # a message is as slow as its slowest endpoint (degraded-NIC perturbation)
+    arrival = (
+        send_done
+        + float(model.msg_time(hops, nbytes)) * machine.comm_factor(src, dst)
+        - model.overhead
+    )
     machine.clocks[src] = send_done
     machine.clocks[dst] = max(machine.clocks[dst] + model.overhead, arrival) + float(
         model.copy_time(nbytes)
@@ -84,7 +89,11 @@ def send_round(
             continue
         hops = int(machine.topology.hops(src, dst))
         send_done = machine.clocks[src] + model.overhead + float(model.copy_time(nbytes))
-        arrival = send_done + float(model.msg_time(hops, nbytes)) - model.overhead
+        arrival = (
+            send_done
+            + float(model.msg_time(hops, nbytes)) * machine.comm_factor(src, dst)
+            - model.overhead
+        )
         machine.clocks[src] = send_done
         arrivals.append((dst, arrival, payload, src))
         n_messages += 1
@@ -142,8 +151,9 @@ def exchange_pairs(
         hops = int(machine.topology.hops(a, b))
         post_a = machine.clocks[a] + model.overhead + float(model.copy_time(bytes_ab))
         post_b = machine.clocks[b] + model.overhead + float(model.copy_time(bytes_ba))
-        arrive_at_b = post_a + float(model.msg_time(hops, bytes_ab)) - model.overhead
-        arrive_at_a = post_b + float(model.msg_time(hops, bytes_ba)) - model.overhead
+        pair_factor = machine.comm_factor(a, b)
+        arrive_at_b = post_a + float(model.msg_time(hops, bytes_ab)) * pair_factor - model.overhead
+        arrive_at_a = post_b + float(model.msg_time(hops, bytes_ba)) * pair_factor - model.overhead
         machine.clocks[a] = max(post_a, arrive_at_a) + float(model.copy_time(bytes_ba))
         machine.clocks[b] = max(post_b, arrive_at_b) + float(model.copy_time(bytes_ab))
         out[(a, b)] = (pb, pa)

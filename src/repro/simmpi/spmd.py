@@ -52,8 +52,11 @@ class SPMDDeadlock(RuntimeError):
 class _Runtime:
     """Shared state of one :func:`run_spmd` execution."""
 
-    def __init__(self, machine: Machine) -> None:
+    def __init__(self, machine: Machine, scheduler: Optional[Any] = None) -> None:
         self.machine = machine
+        #: optional :class:`~repro.simmpi.chaos.MailboxScheduler` permuting
+        #: delivery and wake order among the legal choices
+        self.scheduler = scheduler
         self.lock = threading.Condition()
         #: mailboxes[dst] -> list of (src, tag, payload, arrival_time)
         self.mailboxes: List[List[Tuple[int, int, Any, float]]] = [
@@ -96,9 +99,25 @@ class _Runtime:
             for s, t, _payload, _arrival in self.mailboxes[r]:
                 if (src is None or s == src) and (tag is None or t == tag):
                     return  # this rank can proceed
-        states = ", ".join(f"rank {r}: {w}" for r, w in sorted(self.blocked.items()))
-        self.failed = SPMDDeadlock(f"all ranks blocked ({states})")
+        self.failed = SPMDDeadlock(f"all ranks blocked ({self._describe_blocked()})")
         self.lock.notify_all()
+
+    def _describe_blocked(self) -> str:
+        """Per-rank state dump for the deadlock report (lock held)."""
+        parts = []
+        for r, state in sorted(self.blocked.items()):
+            if isinstance(state, tuple) and state and state[0] == "collective":
+                parts.append(f"rank {r}: collective(epoch={state[1]})")
+            else:
+                src, tag = state
+                pending = ", ".join(
+                    f"(src={s}, tag={t})" for s, t, _p, _a in self.mailboxes[r]
+                )
+                parts.append(
+                    f"rank {r}: recv(src={'*' if src is None else src}, "
+                    f"tag={'*' if tag is None else tag}) mailbox=[{pending}]"
+                )
+        return ", ".join(parts)
 
 
 class SPMDContext:
@@ -117,6 +136,8 @@ class SPMDContext:
         machine = rt.machine
         dst = machine.check_rank(dst)
         nbytes = payload_nbytes(payload) if isinstance(payload, (np.ndarray, tuple, list)) else 64
+        if rt.scheduler is not None:
+            rt.scheduler.maybe_yield()
         with rt.lock:
             self._raise_if_failed()
             model = machine.model
@@ -138,25 +159,46 @@ class SPMDContext:
 
     def recv(self, src: Optional[int] = None, tag: Optional[int] = None,
              phase: str = "spmd") -> Any:
-        """Blocking receive; ``src``/``tag`` of ``None`` match anything."""
+        """Blocking receive; ``src``/``tag`` of ``None`` match anything.
+
+        When several sources have a matching message pending, MPI allows a
+        wildcard receive to consume any of them; an attached scheduler shim
+        picks among those legal candidates (messages from one source are
+        still consumed in posting order — MPI non-overtaking).
+        """
         rt = self._rt
         machine = rt.machine
+        if rt.scheduler is not None:
+            rt.scheduler.maybe_yield()
         with rt.lock:
             while True:
                 self._raise_if_failed()
                 box = rt.mailboxes[self.rank]
-                for i, (s, t, payload, arrival) in enumerate(box):
+                # legal candidates: the *earliest-posted* matching message of
+                # each source (non-overtaking within a source)
+                candidates: List[int] = []
+                seen_sources: set = set()
+                for i, (s, t, _payload, _arrival) in enumerate(box):
                     if (src is None or s == src) and (tag is None or t == tag):
-                        del box[i]
-                        before = machine.clocks.max()
-                        machine.clocks[self.rank] = max(
-                            machine.clocks[self.rank] + machine.model.overhead, arrival
-                        )
-                        machine.trace.record(
-                            phase, time=float(machine.clocks.max() - before)
-                        )
-                        rt.lock.notify_all()
-                        return payload
+                        if s in seen_sources:
+                            continue
+                        seen_sources.add(s)
+                        candidates.append(i)
+                if candidates:
+                    if rt.scheduler is not None:
+                        pick = candidates[rt.scheduler.choose(len(candidates))]
+                    else:
+                        pick = candidates[0]
+                    _s, _t, payload, arrival = box.pop(pick)
+                    before = machine.clocks.max()
+                    machine.clocks[self.rank] = max(
+                        machine.clocks[self.rank] + machine.model.overhead, arrival
+                    )
+                    machine.trace.record(
+                        phase, time=float(machine.clocks.max() - before)
+                    )
+                    rt.lock.notify_all()
+                    return payload
                 rt.blocked[self.rank] = (src, tag)
                 rt.check_deadlock()
                 rt.lock.wait(timeout=5.0)
@@ -175,6 +217,8 @@ class SPMDContext:
         """Rendezvous of all ranks; ``combine`` runs once on the full map."""
         rt = self._rt
         machine = rt.machine
+        if rt.scheduler is not None:
+            rt.scheduler.maybe_yield()
         with rt.lock:
             self._raise_if_failed()
             epoch = rt._coll_epoch
@@ -244,18 +288,26 @@ def run_spmd(
     machine: Machine,
     program: Callable[..., Any],
     *per_rank_args: Sequence,
+    scheduler: Optional[Any] = None,
 ) -> List[Any]:
     """Execute ``program(ctx, *args)`` once per rank; return all results.
 
     Each entry of ``per_rank_args`` is a length-``nprocs`` sequence whose
     ``r``-th element is passed to rank ``r``.  Raises the first per-rank
     exception (including :class:`SPMDDeadlock`).
+
+    ``scheduler`` is an optional
+    :class:`~repro.simmpi.chaos.MailboxScheduler` permuting message delivery
+    and thread wake order among legal choices; when omitted it is taken from
+    the machine's active perturbation (if any).
     """
     P = machine.nprocs
     for seq in per_rank_args:
         if len(seq) != P:
             raise ValueError(f"per-rank argument has {len(seq)} entries for {P} ranks")
-    rt = _Runtime(machine)
+    if scheduler is None and machine.perturbation is not None:
+        scheduler = machine.perturbation.scheduler()
+    rt = _Runtime(machine, scheduler)
     results: List[Any] = [None] * P
     threads: List[threading.Thread] = []
 
@@ -274,7 +326,10 @@ def run_spmd(
                 rt.check_deadlock()
                 rt.lock.notify_all()
 
-    for r in range(P):
+    start_order = list(range(P))
+    if scheduler is not None:
+        start_order = scheduler.shuffled(start_order)
+    for r in start_order:
         t = threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True)
         threads.append(t)
         t.start()

@@ -85,6 +85,7 @@ class Trace:
     def __init__(self) -> None:
         self._phases: Dict[str, PhaseStats] = {}
         self._counters: Dict[str, int] = {}
+        self._notes: Dict[str, str] = {}
 
     def record(
         self,
@@ -124,6 +125,16 @@ class Trace:
         """Copy of all event counters."""
         return dict(self._counters)
 
+    # -- free-form annotations --------------------------------------------------
+
+    def note(self, key: str, value: str) -> None:
+        """Attach a free-form annotation (e.g. the active perturbation)."""
+        self._notes[str(key)] = str(value)
+
+    def notes(self) -> Dict[str, str]:
+        """Copy of all annotations."""
+        return dict(self._notes)
+
     def phases(self) -> Iterator[str]:
         return iter(sorted(self._phases))
 
@@ -158,6 +169,7 @@ class Trace:
     def clear(self) -> None:
         self._phases.clear()
         self._counters.clear()
+        self._notes.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rows = ", ".join(

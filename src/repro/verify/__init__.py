@@ -17,10 +17,18 @@ executable checks:
   validates alltoallv count symmetry, flags unmatched point-to-point sends
   (virtual-deadlock detection) and verifies neighborhood exchanges only
   touch declared Cartesian neighbors.
+* :mod:`repro.verify.dst` — deterministic simulation testing: the full MD
+  loop re-run under seeded machine perturbations
+  (:mod:`repro.simmpi.chaos`), asserting bitwise-identical physics and
+  ledgers across every seed (only virtual clocks may differ).
 
 Run the differential oracle from the command line::
 
     python -m repro.verify --quick
+
+and the chaos/DST sweep with::
+
+    python -m repro.verify dst --seeds 10 --steps 5
 
 See ``docs/verification.md`` for the invariant catalog and usage guide.
 """
@@ -41,6 +49,13 @@ from repro.verify.differential import (
     run_trajectory,
     sweep,
 )
+from repro.verify.dst import (
+    DstFailure,
+    DstReport,
+    ledger_fingerprint,
+    run_dst,
+    run_order_invariance_probe,
+)
 from repro.verify.invariants import (
     CheckResult,
     Invariant,
@@ -52,6 +67,7 @@ from repro.verify.invariants import (
     get_invariant,
     invariant,
     run_invariants,
+    state_fingerprint,
 )
 from repro.verify.testing import auto_verify
 
@@ -78,5 +94,11 @@ __all__ = [
     "get_invariant",
     "invariant",
     "run_invariants",
+    "state_fingerprint",
+    "DstFailure",
+    "DstReport",
+    "ledger_fingerprint",
+    "run_dst",
+    "run_order_invariance_probe",
     "auto_verify",
 ]

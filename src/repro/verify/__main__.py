@@ -7,6 +7,12 @@ step — the CI smoke configuration.  ``python -m repro.verify`` (no flags)
 runs the full grid including the P2NFFT solver.  Exit status 0 means every
 cell passed; 1 means at least one differential disagreement or invariant
 violation.
+
+``python -m repro.verify dst --seeds N --steps K`` runs the deterministic
+simulation test (:mod:`repro.verify.dst`): the full MD loop under N seeded
+machine perturbations, asserting bitwise-identical physics and ledgers
+across every seed.  Failing seeds are printed with a one-line repro
+command.
 """
 
 from __future__ import annotations
@@ -68,7 +74,96 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dst_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify dst",
+        description=(
+            "deterministic simulation testing: run the full MD loop under N "
+            "seeded machine perturbations (compute jitter, stragglers, "
+            "degraded links, extra latency, clock skew, mailbox reordering) "
+            "and assert that physics state and communication ledgers are "
+            "bitwise identical across every seed"
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=10,
+        help="number of perturbation seeds to sweep (seeds 1..N; default 10)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=5, help="MD steps per trajectory (default 5)"
+    )
+    parser.add_argument(
+        "--solvers",
+        nargs="+",
+        default=None,
+        metavar="SOLVER",
+        help="solvers to sweep (default: direct ewald fmm p2nfft)",
+    )
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        metavar="METHOD",
+        help="redistribution methods to sweep (default: A B B+move)",
+    )
+    parser.add_argument(
+        "--nprocs", type=int, default=4, help="machine rank count (default 4)"
+    )
+    parser.add_argument(
+        "--particles", type=int, default=24, help="particles in the test system"
+    )
+    parser.add_argument(
+        "--seed-list",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="explicit perturbation seeds to run (reproduce a failure)",
+    )
+    parser.add_argument(
+        "--system-seed", type=int, default=0, help="system/trajectory seed"
+    )
+    return parser
+
+
+def main_dst(argv: List[str]) -> int:
+    from repro.verify.dst import DEFAULT_METHODS, DEFAULT_SOLVERS, run_dst
+
+    args = _dst_parser().parse_args(argv)
+    solvers = args.solvers or list(DEFAULT_SOLVERS)
+    methods = args.methods or list(DEFAULT_METHODS)
+    report = run_dst(
+        solvers,
+        methods,
+        seeds=args.seeds,
+        steps=args.steps,
+        nprocs=args.nprocs,
+        n_particles=args.particles,
+        seed_list=args.seed_list,
+        system_seed=args.system_seed,
+        progress=print,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  seed {failure.seed} [{failure.solver}/{failure.method}]: {failure.detail}")
+        print(
+            "  reproduce: "
+            + failure.repro_command(
+                nprocs=report.nprocs,
+                steps=report.steps,
+                particles=report.particles,
+            )
+        )
+    return 1 if report.failures else 0
+
+
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "dst":
+        return main_dst(list(argv[1:]))
     args = _parser().parse_args(argv)
 
     if args.list_invariants:

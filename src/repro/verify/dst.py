@@ -1,0 +1,376 @@
+"""Deterministic simulation testing (DST) of the redistribution stack.
+
+FoundationDB-style chaos testing for the simulated MPI layer: the same
+seeded MD trajectory is run once on an unperturbed machine (the *reference
+schedule*) and then under ``N`` seeded machine perturbations
+(:class:`~repro.simmpi.chaos.Perturbation` — compute jitter, stragglers,
+degraded links, extra latency, clock skew, mailbox reordering).  The core
+property under test:
+
+    positions, forces, energies, resort outcomes and the communication
+    auditor's ledgers are **bitwise identical** across every seed; only the
+    virtual clocks and per-phase trace times may differ.
+
+A perturbation can change *when* things happen but never *what* happens —
+costs are charged out-of-band of the data plane.  Any coupling from modeled
+time back into physics (a real bug class: e.g. an adaptive decision reading
+``machine.elapsed()``) breaks the fingerprint and is caught here.  The
+``adaptive`` redistribution method intentionally couples cost to behavior
+and is therefore excluded from the sweep.
+
+Alongside the MD sweep, an SPMD *order-invariance probe* runs a random
+sparse-traffic program (wildcard receives, written order-invariantly)
+under every seed's mailbox scheduler, asserting identical results and that
+deadlock detection never fires.
+
+Every failure is reported with a one-line repro command, e.g.::
+
+    python -m repro.verify dst --solvers fmm --methods B+move --steps 5 \
+        --particles 24 --nprocs 4 --seed-list 17
+
+Run from the command line via ``python -m repro.verify dst --seeds N
+--steps K``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi.chaos import Perturbation
+from repro.simmpi.machine import Machine
+from repro.simmpi.spmd import SPMDDeadlock, run_spmd
+from repro.verify.audit import enable_auditing
+from repro.verify.invariants import InvariantChecker, state_fingerprint
+
+__all__ = [
+    "DEFAULT_METHODS",
+    "DEFAULT_SOLVERS",
+    "DstFailure",
+    "DstReport",
+    "ledger_fingerprint",
+    "run_dst",
+    "run_order_invariance_probe",
+]
+
+#: all four registered solvers (the DST default is the full matrix)
+DEFAULT_SOLVERS = ("direct", "ewald", "fmm", "p2nfft")
+
+#: redistribution methods under test; "adaptive" is excluded by design — it
+#: reads modeled costs to pick its method, so its behavior legitimately
+#: depends on the perturbation
+DEFAULT_METHODS = ("A", "B", "B+move")
+
+_PROBE_SALT = 0x0B5E_12E
+
+
+def ledger_fingerprint(auditor) -> str:
+    """Digest of the auditor's per-phase message/byte ledgers.
+
+    The ledgers are recomputed from raw send tables (data plane only), so
+    they must be identical across machine perturbations.
+    """
+    h = hashlib.sha256()
+    for phase in sorted(auditor.ledger):
+        led = auditor.ledger[phase]
+        h.update(f"{phase}:{led.messages}:{led.bytes};".encode())
+    for phase in sorted(getattr(auditor, "plan_ledger", None) or {}):
+        led = auditor.plan_ledger[phase]
+        h.update(f"plan:{phase}:{led.messages}:{led.bytes};".encode())
+    return h.hexdigest()
+
+
+@dataclasses.dataclass
+class DstFailure:
+    """One divergence, invariant violation or deadlock under one seed."""
+
+    solver: str
+    method: str
+    seed: int
+    detail: str
+
+    def repro_command(self, *, nprocs: int, steps: int, particles: int) -> str:
+        """One-line command reproducing exactly this failing cell."""
+        return (
+            f"python -m repro.verify dst --solvers {self.solver} "
+            f"--methods {self.method!r} --steps {steps} "
+            f"--particles {particles} --nprocs {nprocs} "
+            f"--seed-list {self.seed}"
+        )
+
+
+@dataclasses.dataclass
+class DstReport:
+    """Outcome of one DST sweep."""
+
+    solvers: Tuple[str, ...]
+    methods: Tuple[str, ...]
+    nprocs: int
+    steps: int
+    particles: int
+    seeds: List[int]
+    trajectories: int
+    probes: int
+    failures: List[DstFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"FAILED ({len(self.failures)})"
+        return (
+            f"[{status}] dst: {self.trajectories} trajectories + "
+            f"{self.probes} spmd probes, solvers={list(self.solvers)} "
+            f"methods={list(self.methods)} seeds={len(self.seeds)} "
+            f"steps={self.steps} nprocs={self.nprocs} "
+            f"particles={self.particles}"
+        )
+
+
+@dataclasses.dataclass
+class _Reference:
+    """Reference-schedule fingerprints of one (solver, method) cell."""
+
+    checkpoints: List[Dict[str, str]]
+    ledger: str
+
+
+def _run_cell(
+    solver: str,
+    method: str,
+    nprocs: int,
+    *,
+    steps: int,
+    n_particles: int,
+    system_seed: int,
+    perturbation: Optional[Perturbation],
+    reference: Optional[_Reference],
+    solver_kwargs: Optional[dict] = None,
+) -> _Reference:
+    """Run one trajectory; check against ``reference`` when given.
+
+    The reference run (``reference=None``) asserts the full invariant
+    registry after every step and records the fingerprint at every
+    checkpoint; perturbed runs assert ``schedule-independence`` against the
+    recorded fingerprints (so a divergence is pinned to the first step it
+    appears in, per component).
+    """
+    machine = Machine(nprocs)
+    system = silica_melt_system(n_particles, seed=system_seed)
+    config = SimulationConfig(
+        solver=solver,
+        method=method,
+        seed=system_seed,
+        track_energy=True,
+        solver_kwargs=dict(solver_kwargs or {}),
+        perturbation=perturbation,
+    )
+    sim = Simulation(machine, system, config)
+    auditor = enable_auditing(machine)
+    checker = InvariantChecker(sim)
+
+    checkpoints: List[Dict[str, str]] = []
+
+    def checkpoint(k: int) -> None:
+        if reference is None:
+            checkpoints.append(state_fingerprint(sim))
+            checker.assert_ok()
+        else:
+            checker.expected_fingerprint = reference.checkpoints[k]
+            checker.assert_ok(["schedule-independence"])
+
+    sim.initialize()
+    checkpoint(0)
+    for k in range(steps):
+        sim.step()
+        checkpoint(k + 1)
+    auditor.assert_quiescent()
+    ledger = ledger_fingerprint(auditor)
+    if reference is not None and ledger != reference.ledger:
+        raise AssertionError(
+            "auditor ledger fingerprint diverged from the reference schedule "
+            f"(perturbation [{machine.trace.notes().get('perturbation', '?')}])"
+        )
+    sim.fcs.destroy()
+    return _Reference(checkpoints=checkpoints, ledger=ledger)
+
+
+# -- SPMD order-invariance probe ---------------------------------------------
+
+
+def _probe_program(ctx, sends, expected):
+    """Random sparse traffic consumed through wildcard receives.
+
+    Written order-invariantly: the received multiset is sorted before use,
+    so any legal delivery order must yield the same return value.
+    """
+    for dst, value in sends:
+        ctx.send(dst, float(value), tag=1)
+    received = [float(ctx.recv()) for _ in range(expected)]
+    received.sort()
+    total = ctx.allreduce(sum(received))
+    return received, total
+
+
+def _probe_traffic(nprocs: int, rng: np.random.Generator):
+    """A random sparse traffic pattern plus per-rank receive counts."""
+    sends: List[List[Tuple[int, float]]] = [[] for _ in range(nprocs)]
+    expected = [0] * nprocs
+    n_messages = int(rng.integers(nprocs, 4 * nprocs + 1))
+    for _ in range(n_messages):
+        src = int(rng.integers(nprocs))
+        dst = int(rng.integers(nprocs))
+        value = float(np.round(rng.uniform(0.0, 100.0), 6))
+        sends[src].append((dst, value))
+        expected[dst] += 1
+    return sends, expected
+
+
+def run_order_invariance_probe(
+    nprocs: int,
+    seeds: Sequence[int],
+    *,
+    rounds: int = 3,
+    system_seed: int = 0,
+) -> List[DstFailure]:
+    """Run the wildcard-receive probe under every seed's scheduler.
+
+    The traffic pattern is fixed per round (drawn from ``system_seed``, not
+    the perturbation seed); only the delivery/wake schedule varies.  Results
+    must match the unperturbed run exactly and deadlock detection must
+    never fire.
+    """
+    failures: List[DstFailure] = []
+    for rnd in range(rounds):
+        rng = np.random.default_rng([_PROBE_SALT, system_seed, rnd])
+        sends, expected = _probe_traffic(nprocs, rng)
+
+        def run_once(perturbation: Optional[Perturbation]):
+            machine = (
+                Machine(nprocs, perturbation=perturbation)
+                if perturbation is not None
+                else Machine(nprocs)
+            )
+            return run_spmd(machine, _probe_program, sends, expected)
+
+        reference = run_once(None)
+        for seed in seeds:
+            if seed == 0:
+                continue
+            try:
+                result = run_once(Perturbation.sample(seed))
+            except SPMDDeadlock as exc:
+                failures.append(
+                    DstFailure(
+                        solver="spmd-probe",
+                        method=f"round-{rnd}",
+                        seed=seed,
+                        detail=f"deadlock detector fired: {exc}",
+                    )
+                )
+                continue
+            if result != reference:
+                failures.append(
+                    DstFailure(
+                        solver="spmd-probe",
+                        method=f"round-{rnd}",
+                        seed=seed,
+                        detail=(
+                            "wildcard-receive results diverged from the "
+                            "reference schedule"
+                        ),
+                    )
+                )
+    return failures
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+def run_dst(
+    solvers: Sequence[str] = DEFAULT_SOLVERS,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    *,
+    seeds: int = 10,
+    steps: int = 5,
+    nprocs: int = 4,
+    n_particles: int = 24,
+    seed_list: Optional[Sequence[int]] = None,
+    system_seed: int = 0,
+    probe_rounds: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> DstReport:
+    """Sweep every (solver, method) cell under ``seeds`` perturbation seeds.
+
+    ``seed_list`` overrides the default ``1..seeds`` range (reproducing a
+    recorded failure).  Seed 0 is the null perturbation and is always the
+    reference; listing it explicitly re-checks byte-identity of the null
+    perturbation against the unperturbed reference.
+    """
+    say = progress if progress is not None else (lambda msg: None)
+    chosen = list(seed_list) if seed_list is not None else list(range(1, seeds + 1))
+    failures: List[DstFailure] = []
+    trajectories = 0
+
+    for solver in solvers:
+        for method in methods:
+            say(f"dst: {solver}/{method} reference schedule ...")
+            reference = _run_cell(
+                solver,
+                method,
+                nprocs,
+                steps=steps,
+                n_particles=n_particles,
+                system_seed=system_seed,
+                perturbation=None,
+                reference=None,
+            )
+            trajectories += 1
+            for seed in chosen:
+                perturbation = Perturbation.sample(seed)
+                try:
+                    _run_cell(
+                        solver,
+                        method,
+                        nprocs,
+                        steps=steps,
+                        n_particles=n_particles,
+                        system_seed=system_seed,
+                        perturbation=perturbation,
+                        reference=reference,
+                    )
+                except SPMDDeadlock as exc:
+                    failures.append(
+                        DstFailure(solver, method, seed, f"deadlock: {exc}")
+                    )
+                except AssertionError as exc:
+                    failures.append(DstFailure(solver, method, seed, str(exc)))
+                trajectories += 1
+            say(
+                f"dst: {solver}/{method} {len(chosen)} seeds "
+                f"{'ok' if not any(f.solver == solver and f.method == method for f in failures) else 'FAILED'}"
+            )
+
+    probe_failures = run_order_invariance_probe(
+        nprocs, chosen, rounds=probe_rounds, system_seed=system_seed
+    )
+    failures.extend(probe_failures)
+    probes = probe_rounds * (1 + sum(1 for s in chosen if s != 0))
+
+    return DstReport(
+        solvers=tuple(solvers),
+        methods=tuple(methods),
+        nprocs=nprocs,
+        steps=steps,
+        particles=n_particles,
+        seeds=chosen,
+        trajectories=trajectories,
+        probes=probes,
+        failures=failures,
+    )

@@ -36,6 +36,9 @@ The catalog covers the failure modes a redistribution bug produces:
 ``energy-drift``              bounded total-energy drift in energy-tracked runs
 ``momentum-bounded``          total momentum stays near zero under force
                               dynamics (forces sum to zero pairwise)
+``schedule-independence``     the physics state fingerprint is bitwise
+                              identical to the reference schedule's (armed by
+                              the DST runner via ``expected_fingerprint``)
 ``clock-monotonicity``        virtual clocks and per-phase times never go
                               negative
 ============================  ====================================================
@@ -52,6 +55,7 @@ Register additional checks with the :func:`invariant` decorator::
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -70,6 +74,7 @@ __all__ = [
     "get_invariant",
     "invariant",
     "run_invariants",
+    "state_fingerprint",
 ]
 
 #: sentinel a check returns when it does not apply to the configuration
@@ -208,6 +213,52 @@ def check_resort_permutation(
                 "(resort indices are not a permutation)"
             )
     return None
+
+
+def state_fingerprint(sim) -> Dict[str, str]:
+    """Per-component digests of every schedule-independent observable.
+
+    Covers the physics state (per-rank layout, ids, positions, velocities,
+    accelerations, charges, potentials, fields) and the per-step dynamics
+    record (changed flag, strategy, method, max movement, energy) — exactly
+    the outputs that must be **bitwise identical** under any machine
+    perturbation or legal message schedule.  Virtual clocks and per-phase
+    trace times are deliberately excluded: those are the only outputs allowed
+    to respond to a perturbation.
+
+    Returns an ordered ``{component: sha256 hexdigest}`` map so a divergence
+    can be reported per component rather than as one opaque hash.
+    """
+
+    def digest(chunks: Sequence[bytes]) -> str:
+        h = hashlib.sha256()
+        for chunk in chunks:
+            h.update(chunk)
+        return h.hexdigest()
+
+    def arrays(seq) -> List[bytes]:
+        return [np.ascontiguousarray(a).tobytes() for a in seq]
+
+    particles = sim.particles
+    components: Dict[str, List[bytes]] = {
+        "layout": [
+            np.asarray([p.shape[0] for p in particles.pos], dtype=np.int64).tobytes()
+        ],
+        "ids": arrays(sim.ids),
+        "positions": arrays(particles.pos),
+        "velocities": arrays(sim.vel),
+        "accelerations": arrays(sim.acc),
+        "charges": arrays(particles.q),
+        "potentials": arrays(particles.pot),
+        "fields": arrays(particles.field),
+        "dynamics": [
+            repr((r.step, r.changed, r.strategy, r.method)).encode()
+            + np.float64(r.max_move).tobytes()
+            + (np.float64(r.energy).tobytes() if r.energy is not None else b"\x00")
+            for r in sim.records
+        ],
+    }
+    return {name: digest(chunks) for name, chunks in components.items()}
 
 
 # -- the checker -------------------------------------------------------------------
@@ -536,6 +587,25 @@ def _check_momentum(checker: InvariantChecker) -> object:
         return (
             f"total momentum {p.tolist()} is not conserved near zero "
             f"(speed scale {speed_scale:.3e})"
+        )
+    return None
+
+
+@invariant(
+    "schedule-independence",
+    "state fingerprint is bitwise identical to the reference schedule's",
+)
+def _check_schedule_independence(checker: InvariantChecker) -> object:
+    expected = getattr(checker, "expected_fingerprint", None)
+    if expected is None:
+        return SKIPPED
+    actual = state_fingerprint(checker.sim)
+    diverged = [name for name in expected if actual.get(name) != expected[name]]
+    if diverged:
+        pert = checker.machine.trace.notes().get("perturbation", "unknown")
+        return (
+            f"component(s) {diverged} diverged from the reference schedule "
+            f"under perturbation [{pert}]"
         )
     return None
 

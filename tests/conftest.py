@@ -5,8 +5,11 @@ The Hypothesis strategies shared across the property-test suites live in
 code alike); they are re-exported here for discoverability.
 """
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.particles import ParticleSet
 from repro.md.systems import silica_melt_system
@@ -19,6 +22,13 @@ from repro.verify.strategies import (  # noqa: F401  (re-exported for tests)
     rank_position_arrays,
     symmetric_count_tables,
 )
+
+# In CI, print the reproduction blob (`@reproduce_failure(...)`) of every
+# failing Hypothesis example so the seed survives the ephemeral runner; the
+# DST runner prints its own one-line repro command the same way.
+settings.register_profile("ci", print_blob=True, deadline=None)
+if os.environ.get("CI"):
+    settings.load_profile("ci")
 
 
 @pytest.fixture

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.core.handle import fcs_init
 from repro.core.plan import ResortPlan
 from repro.core.resort import pack_resort_index
+from repro.simmpi.chaos import Perturbation
 from repro.simmpi.machine import Machine
 from repro.solvers.base import Solver
 from repro.solvers.fmm.solver import FMMSolver
@@ -273,6 +274,97 @@ class TestAuditedPlan:
         plan = ResortPlan(machine, indices, old_counts, new_counts)
         out = plan.execute([[np.full(int(c), r, dtype=np.int32) for r, c in enumerate(old_counts)]])
         assert sum(a.shape[0] for a in out[0]) == int(sum(old_counts))
+
+
+def redistribution_with_empty_ranks(nprocs, total, seed):
+    """A resort problem confined to half the ranks: the rest hold zero
+    particles before *and* after — the empty-rank edge case a straggler
+    perturbation must not be able to smear into the data plane."""
+    rng = np.random.default_rng(seed)
+    active = np.sort(rng.choice(nprocs, size=max(1, nprocs // 2), replace=False))
+    src = np.sort(rng.choice(active, size=total))
+    old_counts = np.bincount(src, minlength=nprocs)
+    dst = rng.choice(active, size=total)
+    new_counts = np.bincount(dst, minlength=nprocs)
+    pos = np.empty(total, dtype=np.int64)
+    for r in range(nprocs):
+        where = np.flatnonzero(dst == r)
+        pos[where] = rng.permutation(where.size)
+    offsets = np.concatenate(([0], np.cumsum(old_counts)))
+    indices = [
+        pack_resort_index(dst[offsets[r]:offsets[r + 1]], pos[offsets[r]:offsets[r + 1]])
+        for r in range(nprocs)
+    ]
+    return indices, old_counts, new_counts, dst, pos, offsets
+
+
+class TestPerturbedPlan:
+    """ResortPlan with empty ranks while a straggler perturbation is active.
+
+    A perturbation skews clocks, never data: the compiled plan's cached
+    counts, the delivered layout and the plan/audit ledgers must be
+    identical with and without the perturbation.
+    """
+
+    NPROCS = 6
+    PERTURBATION = Perturbation(
+        seed=11,
+        compute_jitter=0.25,
+        straggler_fraction=0.5,
+        straggler_slowdown=6.0,
+    )
+
+    def _run(self, perturbation):
+        indices, old_counts, new_counts, dst, pos, offsets = (
+            redistribution_with_empty_ranks(self.NPROCS, 48, seed=33)
+        )
+        machine = Machine(self.NPROCS, perturbation=perturbation)
+        auditor = enable_auditing(machine)
+        plan = ResortPlan(machine, indices, old_counts, new_counts)
+        rng = np.random.default_rng(7)
+        total = int(sum(old_counts))
+        floats = rng.normal(size=(total, 3))
+        ints = rng.integers(0, 2**31, total)
+        cols = [
+            [v[offsets[r]:offsets[r + 1]] for r in range(self.NPROCS)]
+            for v in (floats, ints)
+        ]
+        out = plan.execute(cols)
+        return machine, auditor, plan, out, (floats, ints, dst, pos, offsets, new_counts)
+
+    def test_empty_ranks_balance_under_straggler_perturbation(self):
+        machine, auditor, plan, out, ground = self._run(self.PERTURBATION)
+        floats, ints, dst, pos, offsets, new_counts = ground
+        assert int((np.asarray(plan.old_counts) == 0).sum()) >= self.NPROCS // 2
+        assert int((np.asarray(plan.new_counts) == 0).sum()) >= self.NPROCS // 2
+        for values, got in zip((floats, ints), out):
+            want = expected_layout(
+                values, dst, pos, new_counts, offsets, self.NPROCS
+            )
+            for r in range(self.NPROCS):
+                np.testing.assert_array_equal(got[r], want[r])
+        # plan ledger balances against the independently audited exchange
+        planned = auditor.plan_ledger["resort"]
+        audited = auditor.ledger["resort"]
+        assert planned.messages <= audited.messages
+        assert planned.bytes <= audited.bytes
+        assert planned.bytes == plan.stats.bytes_moved
+
+    def test_perturbation_moves_clocks_not_data(self):
+        plain = self._run(None)
+        perturbed = self._run(self.PERTURBATION)
+        # cached counts and delivered layouts are byte-identical
+        assert perturbed[2].old_counts == plain[2].old_counts
+        assert perturbed[2].new_counts == plain[2].new_counts
+        for col_plain, col_pert in zip(plain[3], perturbed[3]):
+            for a, b in zip(col_plain, col_pert):
+                np.testing.assert_array_equal(a, b)
+        # ledgers are data-plane: identical across the perturbation
+        for phase in ("resort", "resort_plan"):
+            lp, lq = plain[1].ledger[phase], perturbed[1].ledger[phase]
+            assert (lp.messages, lp.bytes) == (lq.messages, lq.bytes)
+        # but the straggler really did slow the virtual machine down
+        assert perturbed[0].elapsed() > plain[0].elapsed()
 
 
 class TestSimulationIntegration:

@@ -1,10 +1,46 @@
 """SPMD layer: per-rank programs, matching, collectives, deadlocks."""
 
+import threading
+
 import numpy as np
 import pytest
 
+from repro.simmpi.chaos import MailboxScheduler
 from repro.simmpi.machine import Machine
 from repro.simmpi.spmd import SPMDDeadlock, run_spmd
+
+#: hard wall for the deadlock-detection tests; generous next to the
+#: detector's 5 s wait ticks but far below any CI job timeout
+WATCHDOG_SECONDS = 60.0
+
+
+def run_expecting_deadlock(machine, program, *, scheduler=None):
+    """Run ``program`` on a watchdog thread and return the SPMDDeadlock.
+
+    The whole point of the detector is that a deadlocked program *reports*
+    instead of hanging — so the test itself must not be able to hang either,
+    even where the pytest-timeout plugin is unavailable.  The daemon thread
+    is abandoned on timeout and the test fails.
+    """
+    outcome = {}
+
+    def target():
+        try:
+            run_spmd(machine, program, scheduler=scheduler)
+        except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+            outcome["exc"] = exc
+
+    t = threading.Thread(target=target, daemon=True)
+    t.start()
+    t.join(timeout=WATCHDOG_SECONDS)
+    if t.is_alive():
+        pytest.fail(
+            f"deadlock detector did not fire within {WATCHDOG_SECONDS:.0f}s; "
+            "run_spmd is hanging"
+        )
+    exc = outcome.get("exc")
+    assert isinstance(exc, SPMDDeadlock), f"expected SPMDDeadlock, got {exc!r}"
+    return exc
 
 
 class TestPointToPoint:
@@ -141,6 +177,77 @@ class TestFailures:
     def test_bad_per_rank_args(self):
         with pytest.raises(ValueError):
             run_spmd(Machine(3), lambda ctx, x: x, [1, 2])
+
+
+@pytest.mark.timeout(120)
+class TestDeadlockHardening:
+    """The detector must report — with a usable state dump — under any legal
+    schedule, and the tests themselves must never hang (watchdog thread)."""
+
+    SEEDS = range(1, 9)
+
+    @staticmethod
+    def mismatched_tags(ctx):
+        if ctx.rank == 0:
+            ctx.send(1, "x", tag=7)
+            return ctx.recv(1)
+        if ctx.rank == 1:
+            return ctx.recv(0, tag=9)  # tag never sent
+        return ctx.recv()  # bystanders: nothing ever arrives
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mismatched_tags_reported_under_every_schedule(self, seed):
+        exc = run_expecting_deadlock(
+            Machine(4),
+            self.mismatched_tags,
+            scheduler=MailboxScheduler(seed),
+        )
+        msg = str(exc)
+        assert msg.startswith("all ranks blocked (")
+        # the dump names every blocked rank with its match pattern ...
+        assert "rank 0: recv(src=1, tag=*)" in msg
+        assert "rank 1: recv(src=0, tag=9)" in msg
+        assert "rank 2: recv(src=*, tag=*)" in msg
+        # ... and shows the unmatched message rotting in rank 1's mailbox
+        assert "mailbox=[(src=0, tag=7)]" in msg
+
+    @pytest.mark.parametrize("seed", [0, 3, 5])
+    def test_collective_vs_recv_deadlock_dump(self, seed):
+        def prog(ctx):
+            if ctx.rank == 0:
+                return ctx.recv(1)  # rank 1 never sends
+            return ctx.allreduce(1.0)
+
+        exc = run_expecting_deadlock(
+            Machine(3),
+            prog,
+            scheduler=MailboxScheduler(seed) if seed else None,
+        )
+        msg = str(exc)
+        assert "rank 0: recv(src=1, tag=*) mailbox=[]" in msg
+        assert "collective(epoch=0)" in msg
+
+    def test_deadlock_not_raised_for_slow_but_live_program(self):
+        """A legal program under heavy reordering must still complete."""
+        def prog(ctx, value):
+            nxt = (ctx.rank + 1) % ctx.nprocs
+            prv = (ctx.rank - 1) % ctx.nprocs
+            total = value
+            for _ in range(ctx.nprocs - 1):
+                ctx.send(nxt, value)
+                value = ctx.recv(prv)
+                total += value
+            ctx.barrier()
+            return total
+
+        for seed in self.SEEDS:
+            out = run_spmd(
+                Machine(4),
+                prog,
+                [1.0, 2.0, 3.0, 4.0],
+                scheduler=MailboxScheduler(seed, yield_probability=0.9),
+            )
+            assert out == [10.0] * 4, f"schedule seed {seed} corrupted results"
 
 
 class TestClockSemantics:

@@ -1,0 +1,173 @@
+"""Cross-sort oracle: merge-exchange sort vs partition sort.
+
+The two parallel sorting methods of the paper ([15] Batcher merge-exchange,
+[12] partition/sample sort) are two transports for the same specification:
+"globally sort the distributed blocks by key, preserving the per-rank
+counts".  With unique keys the result is therefore *unique* — whichever
+method ran, every rank must end up with the identical (key, payload)
+arrays.  These properties fuzz that equivalence over random systems, random
+max-movement bounds (the almost-sorted regime merge-exchange is optimized
+for), and the all-particles-on-one-rank initial distribution of Fig. 6.
+"""
+
+from typing import List, Tuple
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.particles import ColumnBlock
+from repro.simmpi.machine import Machine
+from repro.sorting.merge_sort import merge_exchange_sort
+from repro.sorting.partition_sort import partition_sort
+
+MAX_EXAMPLES = 25
+
+
+def make_blocks(keys_per_rank: List[np.ndarray]) -> List[ColumnBlock]:
+    """Blocks with a payload column encoding each particle's global index."""
+    blocks = []
+    offset = 0
+    for keys in keys_per_rank:
+        keys = np.asarray(keys, dtype=np.uint64)
+        ident = np.arange(offset, offset + keys.shape[0], dtype=np.float64)
+        offset += keys.shape[0]
+        blocks.append(ColumnBlock(key=keys, val=ident))
+    return blocks
+
+
+def run_both_sorts(
+    keys_per_rank: List[np.ndarray],
+) -> Tuple[List[ColumnBlock], bool, List[ColumnBlock]]:
+    """Run merge-exchange and partition sort on identical fresh inputs."""
+    nprocs = len(keys_per_rank)
+    merged, ok = merge_exchange_sort(
+        Machine(nprocs), make_blocks(keys_per_rank), "key"
+    )
+    parted = partition_sort(Machine(nprocs), make_blocks(keys_per_rank), "key")
+    return merged, ok, parted
+
+
+def assert_identical_orders(
+    merged: List[ColumnBlock], parted: List[ColumnBlock]
+) -> None:
+    for r, (bm, bp) in enumerate(zip(merged, parted)):
+        np.testing.assert_array_equal(
+            bm["key"], bp["key"], err_msg=f"rank {r}: key orders differ"
+        )
+        np.testing.assert_array_equal(
+            bm["val"], bp["val"], err_msg=f"rank {r}: payloads diverged from keys"
+        )
+
+
+def unique_random_keys(
+    nprocs: int, per_rank: int, seed: int
+) -> List[np.ndarray]:
+    """Unique uint64 keys, randomly scattered across equal-size ranks."""
+    rng = np.random.default_rng(seed)
+    total = nprocs * per_rank
+    keys = rng.permutation(np.arange(total, dtype=np.uint64) * 17 + 3)
+    return [keys[r * per_rank:(r + 1) * per_rank] for r in range(nprocs)]
+
+
+class TestCrossSortRandomSystems:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        nprocs=st.sampled_from([2, 4, 8]),
+        per_rank=st.integers(min_value=0, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_identical_orders_for_random_systems(self, nprocs, per_rank, seed):
+        keys = unique_random_keys(nprocs, per_rank, seed)
+        merged, ok, parted = run_both_sorts(keys)
+        # equal per-rank counts: the comparator network is guaranteed to sort
+        assert ok, "merge-exchange network failed on equal-size blocks"
+        assert_identical_orders(merged, parted)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        nprocs=st.sampled_from([2, 4, 8]),
+        counts_seed=st.integers(min_value=0, max_value=2**32 - 1),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_unequal_counts_agree_whenever_network_sorts(
+        self, nprocs, counts_seed, seed
+    ):
+        rng = np.random.default_rng(counts_seed)
+        counts = rng.integers(0, 24, nprocs)
+        total = int(counts.sum())
+        keys = np.random.default_rng(seed).permutation(
+            np.arange(total, dtype=np.uint64) * 11 + 1
+        )
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        keys_per_rank = [keys[bounds[r]:bounds[r + 1]] for r in range(nprocs)]
+        merged, ok, parted = run_both_sorts(keys_per_rank)
+        # counts are preserved by both methods regardless of the ok flag
+        for r in range(nprocs):
+            assert merged[r].n == int(counts[r])
+            assert parted[r].n == int(counts[r])
+        if ok:
+            assert_identical_orders(merged, parted)
+        else:
+            # unequal blocks may defeat the comparator network [16]; the
+            # fallback contract is "same multiset, partition result sorted"
+            np.testing.assert_array_equal(
+                np.sort(np.concatenate([b["key"] for b in merged])),
+                np.sort(np.concatenate([b["key"] for b in parted])),
+            )
+
+
+class TestCrossSortMaxMovement:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        nprocs=st.sampled_from([2, 4, 8]),
+        per_rank=st.integers(min_value=1, max_value=24),
+        bound=st.integers(min_value=0, max_value=1000),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_bounded_movement_since_sorted_state(
+        self, nprocs, per_rank, bound, seed
+    ):
+        """Almost-sorted inputs: keys drift by at most ``bound`` since the
+        previous globally sorted state (the method-B steady state the merge
+        sort's overlap windows exploit).  Key spacing exceeds twice the
+        bound, so keys stay unique and the global order is well defined."""
+        rng = np.random.default_rng(seed)
+        total = nprocs * per_rank
+        spacing = 2 * bound + 2
+        base = np.arange(total, dtype=np.int64) * spacing + bound
+        drift = rng.integers(-bound, bound + 1, total)
+        keys = (base + drift).astype(np.uint64)
+        keys_per_rank = [
+            keys[r * per_rank:(r + 1) * per_rank] for r in range(nprocs)
+        ]
+        merged, ok, parted = run_both_sorts(keys_per_rank)
+        assert ok
+        assert_identical_orders(merged, parted)
+        # the result really is globally sorted
+
+        flat = np.concatenate([b["key"] for b in merged])
+        assert np.all(flat[1:] >= flat[:-1])
+
+
+class TestCrossSortFig6Distribution:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        nprocs=st.sampled_from([4, 8]),
+        total=st.integers(min_value=0, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_all_particles_on_one_rank(self, nprocs, total, seed):
+        """Fig. 6: every particle starts on a single process.  Neither sort
+        rebalances (counts are preserved), so all particles must stay on
+        rank 0, locally sorted, under both methods."""
+        rng = np.random.default_rng(seed)
+        keys = rng.permutation(np.arange(total, dtype=np.uint64) * 5 + 2)
+        keys_per_rank = [keys] + [
+            np.empty(0, dtype=np.uint64) for _ in range(nprocs - 1)
+        ]
+        merged, ok, parted = run_both_sorts(keys_per_rank)
+        assert ok
+        assert_identical_orders(merged, parted)
+        assert merged[0].n == total
+        assert all(b.n == 0 for b in merged[1:])
+        np.testing.assert_array_equal(merged[0]["key"], np.sort(keys))

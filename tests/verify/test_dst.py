@@ -1,0 +1,199 @@
+"""DST runner: schedule-independence sweep, probes, failure reporting."""
+
+import numpy as np
+import pytest
+
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi.chaos import Perturbation
+from repro.simmpi.machine import Machine
+from repro.verify.audit import enable_auditing
+from repro.verify.dst import (
+    DEFAULT_METHODS,
+    DEFAULT_SOLVERS,
+    DstFailure,
+    _Reference,
+    _run_cell,
+    ledger_fingerprint,
+    run_dst,
+    run_order_invariance_probe,
+)
+from repro.verify.invariants import state_fingerprint
+
+
+class TestSweep:
+    def test_small_sweep_passes(self):
+        report = run_dst(
+            ["direct"],
+            ["A", "B"],
+            seeds=2,
+            steps=2,
+            nprocs=4,
+            n_particles=16,
+            probe_rounds=1,
+        )
+        assert report.ok, report.failures
+        # 2 cells x (1 reference + 2 seeds)
+        assert report.trajectories == 6
+        assert report.probes == 3  # 1 round x (reference + 2 seeds)
+        assert "ok" in report.summary()
+
+    def test_explicit_seed_list_including_null(self):
+        report = run_dst(
+            ["direct"],
+            ["B+move"],
+            steps=2,
+            nprocs=4,
+            n_particles=16,
+            seed_list=[0, 5],
+            probe_rounds=1,
+        )
+        assert report.ok, report.failures
+        assert report.seeds == [0, 5]
+
+    def test_progress_callback_is_used(self):
+        lines = []
+        run_dst(
+            ["direct"],
+            ["A"],
+            seeds=1,
+            steps=1,
+            nprocs=4,
+            n_particles=16,
+            probe_rounds=0,
+            progress=lines.append,
+        )
+        assert any("direct/A" in line for line in lines)
+
+    def test_default_matrix_excludes_adaptive(self):
+        assert "adaptive" not in DEFAULT_METHODS
+        assert set(DEFAULT_SOLVERS) == {"direct", "ewald", "fmm", "p2nfft"}
+
+
+class TestDivergenceDetection:
+    """Negative paths: a tampered reference must be caught and reported."""
+
+    def run_cell(self, perturbation=None, reference=None):
+        return _run_cell(
+            "direct",
+            "B",
+            4,
+            steps=2,
+            n_particles=16,
+            system_seed=0,
+            perturbation=perturbation,
+            reference=reference,
+        )
+
+    def test_tampered_state_fingerprint_fails(self):
+        reference = self.run_cell()
+        bad = _Reference(
+            checkpoints=[dict(c) for c in reference.checkpoints],
+            ledger=reference.ledger,
+        )
+        bad.checkpoints[1]["positions"] = "0" * 64
+        with pytest.raises(AssertionError, match="schedule-independence"):
+            self.run_cell(perturbation=Perturbation.sample(3), reference=bad)
+
+    def test_tampered_ledger_fails(self):
+        reference = self.run_cell()
+        bad = _Reference(checkpoints=reference.checkpoints, ledger="deadbeef")
+        with pytest.raises(AssertionError, match="ledger"):
+            self.run_cell(perturbation=Perturbation.sample(3), reference=bad)
+
+    def test_sweep_reports_failure_with_repro_command(self):
+        """An injected time->physics coupling must surface as a DstFailure
+        carrying a runnable one-line repro command."""
+        failure = DstFailure(
+            solver="fmm", method="B+move", seed=17, detail="diverged"
+        )
+        cmd = failure.repro_command(nprocs=4, steps=5, particles=24)
+        assert cmd == (
+            "python -m repro.verify dst --solvers fmm --methods 'B+move' "
+            "--steps 5 --particles 24 --nprocs 4 --seed-list 17"
+        )
+
+
+class TestFingerprints:
+    def make_sim(self, method="B"):
+        machine = Machine(4)
+        sim = Simulation(
+            machine,
+            silica_melt_system(16, seed=0),
+            SimulationConfig(solver="direct", method=method, seed=0),
+        )
+        auditor = enable_auditing(machine)
+        sim.initialize()
+        return sim, auditor
+
+    def test_state_fingerprint_component_keys(self):
+        sim, _ = self.make_sim()
+        fp = state_fingerprint(sim)
+        for key in ("layout", "ids", "positions", "velocities", "dynamics"):
+            assert key in fp
+        assert all(len(v) == 64 for v in fp.values())  # sha256 hex
+
+    def test_state_fingerprint_tracks_state(self):
+        sim, _ = self.make_sim()
+        before = state_fingerprint(sim)
+        assert state_fingerprint(sim) == before  # pure
+        sim.step()
+        after = state_fingerprint(sim)
+        assert after["positions"] != before["positions"]
+
+    def test_ledger_fingerprint_tracks_traffic(self):
+        sim, auditor = self.make_sim()
+        before = ledger_fingerprint(auditor)
+        assert ledger_fingerprint(auditor) == before  # pure
+        sim.step()
+        assert ledger_fingerprint(auditor) != before
+
+
+class TestCli:
+    def test_dst_subcommand_smoke(self, capsys):
+        from repro.verify.__main__ import main
+
+        code = main(
+            [
+                "dst",
+                "--solvers", "direct",
+                "--methods", "A",
+                "--seeds", "1",
+                "--steps", "1",
+                "--particles", "16",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[ok] dst:" in out
+
+    def test_dst_subcommand_seed_list(self, capsys):
+        from repro.verify.__main__ import main_dst
+
+        code = main_dst(
+            [
+                "--solvers", "direct",
+                "--methods", "B",
+                "--seed-list", "4",
+                "--steps", "1",
+                "--particles", "16",
+            ]
+        )
+        assert code == 0
+        assert "seeds=1" in capsys.readouterr().out
+
+
+class TestOrderInvarianceProbe:
+    def test_probe_passes_for_sampled_seeds(self):
+        failures = run_order_invariance_probe(4, [1, 2, 3], rounds=2)
+        assert failures == []
+
+    def test_probe_flags_divergence_not_silence(self):
+        """The probe program really exercises wildcard receives: the traffic
+        pattern must contain at least one rank with several sources."""
+        from repro.verify.dst import _PROBE_SALT, _probe_traffic
+
+        rng = np.random.default_rng([_PROBE_SALT, 0, 0])
+        sends, expected = _probe_traffic(4, rng)
+        assert sum(expected) == sum(len(s) for s in sends)
+        assert max(expected) >= 1
