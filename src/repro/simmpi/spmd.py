@@ -151,7 +151,12 @@ class SPMDContext:
                     + model.overhead
                     + float(model.copy_time(nbytes))
                 )
-                arrival = send_done + float(model.msg_time(hops, nbytes)) - model.overhead
+                arrival = (
+                    send_done
+                    + float(model.msg_time(hops, nbytes))
+                    * machine.comm_factor(self.rank, dst)
+                    - model.overhead
+                )
                 machine.clocks[self.rank] = send_done
                 machine.trace.record(phase, time=0.0, messages=1, nbytes=nbytes)
             rt.mailboxes[dst].append((self.rank, tag, payload, arrival))
@@ -230,7 +235,7 @@ class SPMDContext:
                 machine.clocks[:] = t
                 cost = machine.model.tree_collective_time(
                     machine.nprocs, nbytes, machine.topology.diameter()
-                )
+                ) * machine.comm_factor()
                 machine.advance(cost, phase, messages=2 * (machine.nprocs - 1))
                 rt._coll_result = combine(dict(rt._coll_values))
                 rt._coll_values.clear()
@@ -251,13 +256,22 @@ class SPMDContext:
         self._collective(None, lambda values: None, 8.0, phase)
 
     def allreduce(self, value: float, op: str = "sum", phase: str = "spmd") -> float:
-        """Reduce a scalar across all ranks; everyone gets the result."""
-        ops = {"sum": sum, "max": max, "min": min}
+        """Reduce a scalar across all ranks; everyone gets the result.
+
+        ``sum`` combines in rank order: float addition is non-associative
+        and the arrival order of ranks at the rendezvous is
+        schedule-dependent, so summing in dict-arrival order would make the
+        result bitwise schedule-dependent (``min``/``max`` are
+        order-insensitive).
+        """
+        ops = {
+            "sum": lambda values: sum(values[r] for r in sorted(values)),
+            "max": lambda values: max(values.values()),
+            "min": lambda values: min(values.values()),
+        }
         if op not in ops:
             raise ValueError(f"unsupported op {op!r}")
-        return self._collective(
-            float(value), lambda values: ops[op](values.values()), 8.0, phase
-        )
+        return self._collective(float(value), ops[op], 8.0, phase)
 
     def allgather(self, value: Any, phase: str = "spmd") -> List[Any]:
         """Gather one value per rank; everyone gets the rank-ordered list."""

@@ -95,7 +95,19 @@ class DstFailure:
     detail: str
 
     def repro_command(self, *, nprocs: int, steps: int, particles: int) -> str:
-        """One-line command reproducing exactly this failing cell."""
+        """One-line command reproducing exactly this failing cell.
+
+        Probe failures carry synthetic ``spmd-probe``/``round-N`` labels that
+        are not a real (solver, method) cell; the probe runs in every sweep,
+        so the repro pins the seed and minimizes the trajectory work around
+        it instead of passing the labels through.
+        """
+        if self.solver == "spmd-probe":
+            return (
+                f"python -m repro.verify dst --solvers direct --methods A "
+                f"--steps 1 --particles {particles} --nprocs {nprocs} "
+                f"--seed-list {self.seed}"
+            )
         return (
             f"python -m repro.verify dst --solvers {self.solver} "
             f"--methods {self.method!r} --steps {steps} "
@@ -185,19 +197,21 @@ def _run_cell(
             checker.expected_fingerprint = reference.checkpoints[k]
             checker.assert_ok(["schedule-independence"])
 
-    sim.initialize()
-    checkpoint(0)
-    for k in range(steps):
-        sim.step()
-        checkpoint(k + 1)
-    auditor.assert_quiescent()
-    ledger = ledger_fingerprint(auditor)
-    if reference is not None and ledger != reference.ledger:
-        raise AssertionError(
-            "auditor ledger fingerprint diverged from the reference schedule "
-            f"(perturbation [{machine.trace.notes().get('perturbation', '?')}])"
-        )
-    sim.fcs.destroy()
+    try:
+        sim.initialize()
+        checkpoint(0)
+        for k in range(steps):
+            sim.step()
+            checkpoint(k + 1)
+        auditor.assert_quiescent()
+        ledger = ledger_fingerprint(auditor)
+        if reference is not None and ledger != reference.ledger:
+            raise AssertionError(
+                "auditor ledger fingerprint diverged from the reference schedule "
+                f"(perturbation [{machine.trace.notes().get('perturbation', '?')}])"
+            )
+    finally:
+        sim.fcs.destroy()
     return _Reference(checkpoints=checkpoints, ledger=ledger)
 
 

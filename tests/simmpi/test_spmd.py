@@ -5,7 +5,7 @@ import threading
 import numpy as np
 import pytest
 
-from repro.simmpi.chaos import MailboxScheduler
+from repro.simmpi.chaos import MailboxScheduler, Perturbation
 from repro.simmpi.machine import Machine
 from repro.simmpi.spmd import SPMDDeadlock, run_spmd
 
@@ -248,6 +248,61 @@ class TestDeadlockHardening:
                 scheduler=MailboxScheduler(seed, yield_probability=0.9),
             )
             assert out == [10.0] * 4, f"schedule seed {seed} corrupted results"
+
+
+class TestScheduleDeterminism:
+    def test_allreduce_sum_bitwise_schedule_independent(self):
+        """The sum must combine in rank order, not rendezvous-arrival order.
+
+        [1e16, 1.0, -1e16, 1.0] sums to 1.0 in rank order but 2.0 in most
+        other orders, so an arrival-order sum is bitwise schedule-dependent.
+        """
+        values = [1e16, 1.0, -1e16, 1.0]
+
+        def prog(ctx, value):
+            return ctx.allreduce(value, "sum")
+
+        reference = run_spmd(Machine(4), prog, values)
+        assert reference == [1.0] * 4
+        for seed in range(1, 17):
+            out = run_spmd(
+                Machine(4),
+                prog,
+                values,
+                scheduler=MailboxScheduler(seed, yield_probability=0.9),
+            )
+            assert out == reference, f"schedule seed {seed} changed the sum"
+
+
+class TestPerturbedCosts:
+    """SPMD cost charging consults the perturbation like collectives/p2p."""
+
+    DEGRADED = Perturbation(
+        seed=1, degraded_link_fraction=1.0, degraded_link_slowdown=3.0
+    )
+
+    def test_send_charges_comm_factor(self):
+        def ping(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, np.zeros(1 << 16))
+                return None
+            return ctx.recv(0)
+
+        baseline = Machine(2)
+        run_spmd(baseline, ping)
+        degraded = Machine(2, perturbation=self.DEGRADED)
+        run_spmd(degraded, ping)
+        assert degraded.elapsed() > baseline.elapsed()
+
+    def test_collective_charges_comm_factor(self):
+        def reduce_once(ctx):
+            return ctx.allreduce(1.0)
+
+        baseline = Machine(4)
+        assert run_spmd(baseline, reduce_once) == [4.0] * 4
+        degraded = Machine(4, perturbation=self.DEGRADED)
+        assert run_spmd(degraded, reduce_once) == [4.0] * 4
+        assert degraded.elapsed() > baseline.elapsed()
 
 
 class TestClockSemantics:
