@@ -1,0 +1,101 @@
+"""Command-line wall-clock benchmark runner.
+
+    PYTHONPATH=src python -m repro.perf [--quick] [--update-baseline]
+        [--out BENCH_wallclock.json] [--baseline benchmarks/baseline_wallclock.json]
+        [--no-fig7] [--tolerance 0.25]
+
+Benches every vectorized kernel against its retained scalar oracle at the
+selected preset's call shapes, wall-times the Fig. 7 experiment end to end,
+profiles modeled-vs-host time per simulated phase, writes the JSON report
+and gates the kernel *speedup ratios* against the committed baseline
+(exit 1 on a >25 % relative regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.perf.harness import (
+    GATE_TOLERANCE,
+    baseline_from_report,
+    build_report,
+    check_against_baseline,
+    write_json,
+)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.perf", description=__doc__.splitlines()[0]
+    )
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench at the quick preset's shapes (CI smoke scale)",
+    )
+    ap.add_argument(
+        "--out",
+        default="BENCH_wallclock.json",
+        help="report output path (default: BENCH_wallclock.json)",
+    )
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join("benchmarks", "baseline_wallclock.json"),
+        help="committed speedup-ratio baseline to gate against",
+    )
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    ap.add_argument(
+        "--no-fig7",
+        action="store_true",
+        help="skip the end-to-end fig7 wall timing",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=GATE_TOLERANCE,
+        help="maximum tolerated relative speedup regression (default 0.25)",
+    )
+    args = ap.parse_args(argv)
+
+    report = build_report(args.quick, with_fig7=not args.no_fig7)
+    write_json(args.out, report)
+    print(f"wrote {args.out}")
+
+    existing = None
+    if os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            existing = json.load(fh)
+
+    if args.update_baseline:
+        write_json(args.baseline, baseline_from_report(report, existing))
+        print(f"updated {args.baseline}")
+        return 0
+
+    if existing is None:
+        print(
+            f"no baseline at {args.baseline}; run with --update-baseline to create it",
+            file=sys.stderr,
+        )
+        return 1
+    failures = check_against_baseline(report, existing, args.tolerance)
+    if failures:
+        print("speedup regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(
+        f"speedup gate passed ({len(report['kernels'])} kernels within "
+        f"{args.tolerance:.0%} of baseline)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

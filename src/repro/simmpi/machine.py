@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.perf import instrument
 from repro.simmpi.costmodel import CostModel, SystemProfile
 from repro.simmpi.topology import SwitchTopology, Topology
 from repro.simmpi.tracing import Trace
@@ -75,6 +76,9 @@ class Machine:
         self._compute_factors: Optional[np.ndarray] = None
         self._comm_factors: Optional[np.ndarray] = None
         self._initial_clocks: Optional[np.ndarray] = None
+        #: host-clock anchor of the previous charge point — the wall-phase
+        #: attribution state of :func:`repro.perf.instrument.wall_phases`
+        self._wall_anchor: Optional[tuple] = None
         if perturbation is not None:
             self.perturb(perturbation)
 
@@ -171,11 +175,25 @@ class Machine:
 
         The trace time is the *critical-path* contribution: the increase of
         the maximum clock caused by this advance.
+
+        While :func:`repro.perf.instrument.wall_phases` is active, the host
+        wall nanoseconds since this machine's previous charge point are
+        additionally attributed to ``phase`` (the code producing a charge
+        owns the host time leading up to it); the modeled fields are
+        byte-identical with and without the instrumentation.
         """
         before = self.clocks.max()
         self.clocks += per_rank_seconds
         after = self.clocks.max()
         self.trace.record(phase, time=float(after - before), messages=messages, nbytes=nbytes)
+        if instrument.wall_phases_enabled():
+            now = instrument.wall_anchor()
+            anchor = self._wall_anchor
+            if anchor is not None:
+                self.trace.record_wall(phase, now[0] - anchor[0], now[1] - anchor[1])
+            self._wall_anchor = now
+        elif self._wall_anchor is not None:
+            self._wall_anchor = None
 
     def compute(
         self,

@@ -49,12 +49,22 @@ class PhaseStats:
         Payload bytes sent.
     calls:
         Number of primitive invocations attributed to the phase.
+    wall_ns:
+        Host wall nanoseconds attributed to the phase — populated only while
+        :func:`repro.perf.instrument.wall_phases` is active; always 0
+        otherwise.  The *modeled* fields above never depend on it.
+    alloc_bytes:
+        Net host bytes allocated during the phase's attributed spans (only
+        populated while tracemalloc-backed allocation tracing is on; may be
+        negative when a span frees more than it allocates).
     """
 
     time: float = 0.0
     messages: int = 0
     bytes: int = 0
     calls: int = 0
+    wall_ns: int = 0
+    alloc_bytes: int = 0
 
     def add(self, time: float = 0.0, messages: int = 0, nbytes: int = 0, calls: int = 1) -> None:
         self.time += time
@@ -68,6 +78,8 @@ class PhaseStats:
             messages=self.messages + other.messages,
             bytes=self.bytes + other.bytes,
             calls=self.calls + other.calls,
+            wall_ns=self.wall_ns + other.wall_ns,
+            alloc_bytes=self.alloc_bytes + other.alloc_bytes,
         )
 
 
@@ -106,6 +118,20 @@ class Trace:
         if stats is None:
             stats = self._phases[label] = PhaseStats()
         stats.add(time=time, messages=messages, nbytes=nbytes, calls=calls)
+
+    def record_wall(self, phase: Optional[str], ns: int, alloc_bytes: int = 0) -> None:
+        """Attribute host wall nanoseconds (and net allocated bytes) to
+        ``phase`` without touching the modeled fields or the call count.
+
+        Fed by :meth:`Machine.advance <repro.simmpi.machine.Machine.advance>`
+        while :func:`repro.perf.instrument.wall_phases` is active.
+        """
+        label = phase if phase is not None else "other"
+        stats = self._phases.get(label)
+        if stats is None:
+            stats = self._phases[label] = PhaseStats()
+        stats.wall_ns += int(ns)
+        stats.alloc_bytes += int(alloc_bytes)
 
     def get(self, phase: str) -> PhaseStats:
         """Return the stats for ``phase`` (zeros if never recorded)."""
@@ -161,8 +187,10 @@ class Trace:
                 messages=stats.messages - before.messages,
                 bytes=stats.bytes - before.bytes,
                 calls=stats.calls - before.calls,
+                wall_ns=stats.wall_ns - before.wall_ns,
+                alloc_bytes=stats.alloc_bytes - before.alloc_bytes,
             )
-            if d.time or d.messages or d.bytes or d.calls:
+            if d.time or d.messages or d.bytes or d.calls or d.wall_ns:
                 out[label] = d
         return out
 

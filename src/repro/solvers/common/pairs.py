@@ -13,12 +13,21 @@ Conventions: Gaussian units (``phi_i = sum_j q_j / r_ij``), fields are
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy.special import erfc
 
-__all__ = ["ragged_cross", "coulomb_pairs", "erfc_pairs", "segment_starts"]
+from repro.perf import instrument
+
+__all__ = [
+    "ragged_cross",
+    "ragged_cross_reference",
+    "coulomb_pairs",
+    "erfc_pairs",
+    "segment_starts",
+]
 
 
 def segment_starts(sorted_ids: np.ndarray, n_segments: int) -> np.ndarray:
@@ -38,12 +47,67 @@ def ragged_cross(
 
     For each segment ``k``, every target index in ``[t_starts[k],
     t_ends[k])`` is paired with every source index in ``[s_starts[k],
-    s_ends[k])``.  Returns ``(ti, si)`` index arrays of equal length
+    s_ends[k])``; pairs are emitted segment-major, target-major.  Returns
+    ``(ti, si)`` index arrays of equal length
     ``sum((t_ends-t_starts) * (s_ends-s_starts))``.
 
-    Fully vectorised: the only allocations are proportional to the number of
-    generated pairs.
+    The assembly is division-free: each target becomes a *run* of
+    consecutive source indices, built from two ``np.repeat`` expansions and
+    one subtraction instead of the per-pair ``divmod`` of
+    :func:`ragged_cross_reference` (the retained scalar-arithmetic oracle —
+    both produce bitwise-identical index arrays, enforced by
+    ``tests/perf/test_oracle_equivalence.py``).
     """
+    if instrument.prefer_reference():
+        return ragged_cross_reference(t_starts, t_ends, s_starts, s_ends)
+    t_starts = np.asarray(t_starts, dtype=np.int64)
+    t_ends = np.asarray(t_ends, dtype=np.int64)
+    s_starts = np.asarray(s_starts, dtype=np.int64)
+    s_ends = np.asarray(s_ends, dtype=np.int64)
+    nt = t_ends - t_starts
+    ns = s_ends - s_starts
+    pairs_per_seg = nt * ns
+    total = int(pairs_per_seg.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    t0 = time.perf_counter_ns() if instrument.collecting() else 0
+    keep = pairs_per_seg > 0
+    nt = nt[keep]
+    ns = ns[keep]
+    tstart = t_starts[keep]
+    sstart = s_starts[keep]
+
+    # one run of ns[k] consecutive source indices per target in segment k
+    ntargets = int(nt.sum())
+    seg_of_target = np.repeat(np.arange(nt.shape[0]), nt)
+    target_starts = np.concatenate(([0], np.cumsum(nt)[:-1]))
+    # target index of each run: segment base + position within the segment
+    run_ti = (
+        tstart[seg_of_target]
+        + np.arange(ntargets, dtype=np.int64)
+        - target_starts[seg_of_target]
+    )
+    reps = ns[seg_of_target]
+    run_offsets = np.concatenate(([0], np.cumsum(reps)[:-1]))
+    ti = np.repeat(run_ti, reps)
+    # si counts sstart[k], sstart[k]+1, ... within each run
+    si = np.arange(total, dtype=np.int64) + np.repeat(
+        sstart[seg_of_target] - run_offsets, reps
+    )
+    if t0:
+        instrument.record("pairs.ragged_cross", time.perf_counter_ns() - t0, ops=total)
+    return ti, si
+
+
+def ragged_cross_reference(
+    t_starts: np.ndarray,
+    t_ends: np.ndarray,
+    s_starts: np.ndarray,
+    s_ends: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scalar-arithmetic oracle of :func:`ragged_cross`: per-pair ``divmod``
+    against the segment table (the original implementation)."""
     t_starts = np.asarray(t_starts, dtype=np.int64)
     t_ends = np.asarray(t_ends, dtype=np.int64)
     s_starts = np.asarray(s_starts, dtype=np.int64)

@@ -16,17 +16,26 @@ two.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import kernels
 from repro.core.particles import ColumnBlock
+from repro.perf import instrument
 from repro.simmpi.collectives import allgatherv, alltoallv
 from repro.simmpi.machine import Machine
 from repro.sorting.merge_sort import local_sort
 
-__all__ = ["partition_sort", "select_splitters"]
+__all__ = [
+    "partition_sort",
+    "select_splitters",
+    "partition_destinations",
+    "partition_destinations_reference",
+    "split_by_destination",
+    "split_by_destination_reference",
+]
 
 
 def select_splitters(
@@ -66,6 +75,85 @@ def select_splitters(
         phase,
     )
     return gathered[pos].astype(np.uint64)
+
+
+def partition_destinations(order: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Destination rank of each element given the global sort ``order`` and
+    the part boundaries ``bounds`` (prefix sums of the target counts).
+
+    One scatter of a :func:`np.repeat` run replaces the per-destination
+    slice-assignment loop of :func:`partition_destinations_reference`; both
+    produce bitwise-identical destination arrays.
+    """
+    if instrument.prefer_reference():
+        return partition_destinations_reference(order, bounds)
+    t0 = time.perf_counter_ns() if instrument.collecting() else 0
+    dest = np.empty(order.shape[0], dtype=np.int64)
+    dest[order] = np.repeat(
+        np.arange(bounds.shape[0] - 1, dtype=np.int64), np.diff(bounds)
+    )
+    if t0:
+        instrument.record(
+            "partition_sort.destinations",
+            time.perf_counter_ns() - t0,
+            ops=max(int(order.shape[0]), 1),
+        )
+    return dest
+
+
+def partition_destinations_reference(order: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Scalar oracle of :func:`partition_destinations`: one slice assignment
+    per destination rank (the original implementation)."""
+    P = bounds.shape[0] - 1
+    dest = np.empty(order.shape[0], dtype=np.int64)
+    for dst in range(P):
+        dest[order[bounds[dst]:bounds[dst + 1]]] = dst
+    return dest
+
+
+def split_by_destination(block: ColumnBlock, d: np.ndarray) -> Dict[int, ColumnBlock]:
+    """Split ``block`` into per-destination sub-blocks, keyed by destination
+    in ascending order.
+
+    A single stable argsort of the destination array yields every
+    destination's element indices as a contiguous run (in original order,
+    because the sort is stable), replacing the per-destination
+    ``d == dst`` scans of :func:`split_by_destination_reference`.  Both
+    return identical dicts: same key order, bitwise-equal columns.
+    """
+    if instrument.prefer_reference():
+        return split_by_destination_reference(block, d)
+    out: Dict[int, ColumnBlock] = {}
+    if not block.n:
+        return out
+    t0 = time.perf_counter_ns() if instrument.collecting() else 0
+    sorder = np.argsort(d, kind="stable")
+    dsorted = d[sorder]
+    targets, first = np.unique(dsorted, return_index=True)
+    last = np.concatenate((first[1:], [dsorted.shape[0]]))
+    for j, dst in enumerate(targets):
+        out[int(dst)] = block.take(sorder[first[j]:last[j]])
+    if t0:
+        instrument.record(
+            "partition_sort.split",
+            time.perf_counter_ns() - t0,
+            ops=max(int(block.n), 1),
+        )
+    return out
+
+
+def split_by_destination_reference(
+    block: ColumnBlock, d: np.ndarray
+) -> Dict[int, ColumnBlock]:
+    """Scalar oracle of :func:`split_by_destination`: one boolean scan per
+    present destination (the original implementation)."""
+    out: Dict[int, ColumnBlock] = {}
+    if not block.n:
+        return out
+    targets = np.unique(d)
+    for dst in targets:
+        out[int(dst)] = block.take(np.flatnonzero(d == dst))
+    return out
 
 
 def partition_sort(
@@ -132,9 +220,7 @@ def partition_sort(
     local_pos = np.concatenate([np.arange(b.n, dtype=np.int64) for b in current])
     order = np.argsort(all_keys, kind="stable")  # stable = (rank, pos) tie order
     bounds = np.concatenate(([0], np.cumsum(np.asarray(target_counts, dtype=np.int64))))
-    dest = np.empty(all_keys.shape[0], dtype=np.int64)
-    for dst in range(P):
-        dest[order[bounds[dst]:bounds[dst + 1]]] = dst
+    dest = partition_destinations(order, bounds)
 
     sends: List[dict] = []
     send_blocks: List[dict] = []
@@ -142,14 +228,8 @@ def partition_sort(
     for r, block in enumerate(current):
         d = dest[offset:offset + block.n]
         offset += block.n
-        per_target: dict = {}
-        blocks_out: dict = {}
-        if block.n:
-            targets = np.unique(d)
-            for dst in targets:
-                sub = block.take(np.flatnonzero(d == dst))
-                blocks_out[int(dst)] = sub
-                per_target[int(dst)] = sub.payload()
+        blocks_out = split_by_destination(block, d)
+        per_target = {dst: sub.payload() for dst, sub in blocks_out.items()}
         sends.append(per_target)
         send_blocks.append(blocks_out)
 

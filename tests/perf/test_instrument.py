@@ -1,0 +1,162 @@
+"""Unit tests of :mod:`repro.perf.instrument` — the kernel-timer registry,
+the reference-mode dispatch switch, and host-wall phase attribution.
+
+The invariant guarded throughout: instrumentation observes, it never
+perturbs.  Modeled clocks, traces and kernel outputs must be bitwise
+unchanged whether collection / wall attribution is on or off.
+"""
+
+import tracemalloc
+
+import numpy as np
+
+from repro.perf import instrument
+from repro.simmpi.machine import Machine
+
+
+def run_machine_ops(machine):
+    """A tiny deterministic workload touching compute and communication."""
+    P = machine.nprocs
+    machine.compute(np.full(P, 1e-6), "near")
+    from repro.simmpi.collectives import alltoallv
+
+    sends = [
+        {(r + 1) % P: np.arange(8, dtype=np.float64) + r} for r in range(P)
+    ]
+    alltoallv(machine, sends, "sort")
+    machine.compute(np.full(P, 2e-6), "near")
+
+
+class TestKernelRegistry:
+    def test_record_is_noop_when_not_collecting(self):
+        instrument.reset()
+        assert not instrument.collecting()
+        instrument.record("k", 100, ops=5)
+        assert instrument.stats("k").calls == 0
+
+    def test_collect_records_and_clears(self):
+        instrument.record("stale", 1)  # ignored: not collecting
+        with instrument.collect() as reg:
+            assert instrument.collecting()
+            instrument.record("k", 100, ops=5)
+            instrument.record("k", 50, ops=3, alloc_bytes=16)
+            assert reg["k"].calls == 2
+        assert not instrument.collecting()
+        s = instrument.stats("k")
+        assert (s.calls, s.ns, s.ops, s.alloc_bytes) == (2, 150, 8, 16)
+        assert s.ns_per_op == 150 / 8
+        with instrument.collect(clear=True):
+            pass
+        assert instrument.stats("k").calls == 0
+
+    def test_collect_clear_false_accumulates(self):
+        with instrument.collect():
+            instrument.record("k", 10, ops=1)
+        with instrument.collect(clear=False):
+            instrument.record("k", 10, ops=1)
+        assert instrument.stats("k").calls == 2
+        instrument.reset()
+
+    def test_snapshot_is_a_copy(self):
+        with instrument.collect():
+            instrument.record("k", 10, ops=2)
+            snap = instrument.snapshot()
+            instrument.record("k", 10, ops=2)
+        assert snap["k"].calls == 1
+        assert instrument.stats("k").calls == 2
+        instrument.reset()
+
+    def test_kernel_timer_times_and_counts(self):
+        with instrument.collect():
+            with instrument.kernel_timer("timed", ops=7):
+                sum(range(1000))
+        s = instrument.stats("timed")
+        assert s.calls == 1 and s.ops == 7 and s.ns > 0
+        instrument.reset()
+
+    def test_kernel_timer_noop_when_off(self):
+        instrument.reset()
+        with instrument.kernel_timer("never", ops=7):
+            pass
+        assert instrument.stats("never").calls == 0
+
+    def test_zero_ops_ns_per_op_falls_back_to_ns(self):
+        s = instrument.KernelStats(calls=1, ns=42, ops=0)
+        assert s.ns_per_op == 42.0
+
+
+class TestReferenceMode:
+    def test_nesting_restores_previous_state(self):
+        assert not instrument.prefer_reference()
+        with instrument.reference_mode():
+            assert instrument.prefer_reference()
+            with instrument.reference_mode(False):
+                assert not instrument.prefer_reference()
+            assert instrument.prefer_reference()
+        assert not instrument.prefer_reference()
+
+    def test_restored_on_exception(self):
+        try:
+            with instrument.reference_mode():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not instrument.prefer_reference()
+
+
+class TestAllocationTracing:
+    def test_alloc_counted_only_when_tracing(self):
+        with instrument.collect(trace_alloc=True):
+            with instrument.kernel_timer("alloc", ops=1):
+                buf = np.ones(1 << 16)  # ~512 KiB survives the span
+        assert instrument.stats("alloc").alloc_bytes > 0
+        del buf
+        assert not tracemalloc.is_tracing()
+        with instrument.collect():
+            with instrument.kernel_timer("noalloc", ops=1):
+                buf2 = np.ones(1 << 16)
+        assert instrument.stats("noalloc").alloc_bytes == 0
+        del buf2
+        instrument.reset()
+
+    def test_collect_leaves_foreign_tracing_running(self):
+        tracemalloc.start()
+        try:
+            with instrument.collect(trace_alloc=True):
+                pass
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+
+class TestWallPhaseAttribution:
+    def test_wall_attributed_without_perturbing_model(self):
+        plain = Machine(4)
+        run_machine_ops(plain)
+        with instrument.wall_phases():
+            assert instrument.wall_phases_enabled()
+            attributed = Machine(4)
+            run_machine_ops(attributed)
+        assert not instrument.wall_phases_enabled()
+
+        snap_plain = plain.trace.snapshot()
+        snap_attr = attributed.trace.snapshot()
+        assert set(snap_plain) == set(snap_attr)
+        # modeled fields are bitwise unchanged by wall attribution ...
+        assert np.array_equal(plain.clocks, attributed.clocks)
+        for label in snap_plain:
+            a, b = snap_plain[label], snap_attr[label]
+            assert (a.time, a.messages, a.bytes, a.calls) == (
+                b.time,
+                b.messages,
+                b.bytes,
+                b.calls,
+            )
+            # ... while host wall time is only present when enabled
+            assert a.wall_ns == 0
+        assert sum(s.wall_ns for s in snap_attr.values()) > 0
+
+    def test_wall_attribution_off_outside_block(self):
+        machine = Machine(2)
+        run_machine_ops(machine)
+        assert all(s.wall_ns == 0 for s in machine.trace.snapshot().values())

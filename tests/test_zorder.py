@@ -117,3 +117,86 @@ def test_sorted_keys_traverse_z_curve():
     # next 8 the second octant (x high-bit set in our x-fastest layout)
     assert np.all(coords[:8] < 2)
     assert np.all(coords[8:16, 0] >= 2) and np.all(coords[8:16, 1:] < 2)
+
+
+class TestDtypeBoundaries:
+    """Dtype-boundary corners of the 3-D encoding: the 63-bit key budget
+    (3 x 21 coordinate bits) is exactly exhausted at depth 21."""
+
+    MAX = (1 << MAX_BITS_3D) - 1  # 0x1FFFFF
+
+    def test_max_coordinate_corner_key(self):
+        """All-max coordinates fill every one of the 63 payload bits."""
+        k = morton_encode3(
+            np.array([self.MAX]), np.array([self.MAX]), np.array([self.MAX])
+        )
+        assert k.dtype == np.uint64
+        assert int(k[0]) == 0x7FFFFFFFFFFFFFFF
+
+    def test_single_axis_corner_keys(self):
+        """Each axis owns its own interleaved bit lane."""
+        lane = int(
+            morton_encode3(np.array([self.MAX]), np.array([0]), np.array([0]))[0]
+        )
+        assert lane == 0x1249249249249249  # bits 0, 3, 6, ..., 60
+        y = int(morton_encode3(np.array([0]), np.array([self.MAX]), np.array([0]))[0])
+        z = int(morton_encode3(np.array([0]), np.array([0]), np.array([self.MAX]))[0])
+        assert y == lane << 1 and z == lane << 2
+        assert lane | (lane << 1) | (lane << 2) == 0x7FFFFFFFFFFFFFFF
+
+    @pytest.mark.parametrize(
+        "coords",
+        [
+            (0, 0, 0),
+            ((1 << MAX_BITS_3D) - 1,) * 3,
+            ((1 << 20), (1 << 20) - 1, 1),
+            ((1 << MAX_BITS_3D) - 1, 0, (1 << 20)),
+        ],
+    )
+    def test_roundtrip_at_boundaries(self, coords):
+        x, y, z = (np.array([c], dtype=np.uint64) for c in coords)
+        dx, dy, dz = morton_decode3(morton_encode3(x, y, z))
+        assert (int(dx[0]), int(dy[0]), int(dz[0])) == coords
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_coordinate_overflow_rejected(self, axis):
+        """2**21 needs a 22nd bit: one past the boundary must raise, the
+        boundary itself must not."""
+        ok = [np.array([self.MAX])] * 3
+        morton_encode3(*ok)
+        bad = list(ok)
+        bad[axis] = np.array([1 << MAX_BITS_3D])
+        with pytest.raises(ValueError, match="21 bits"):
+            morton_encode3(*bad)
+
+    @pytest.mark.parametrize("depth", [20, 21])
+    def test_deep_levels_reach_the_far_corner(self, depth):
+        """Levels 20 and 21 are in-budget: the far box corner clamps to the
+        all-ones key of that depth."""
+        box = np.full(3, 1.0)
+        corner = np.array([[1.0, 1.0, 1.0]])  # exactly offset + box
+        keys = morton_keys_of_positions(corner, np.zeros(3), box, depth, periodic=False)
+        ncells = 1 << depth
+        expect = morton_encode3(
+            np.array([ncells - 1]), np.array([ncells - 1]), np.array([ncells - 1])
+        )
+        assert keys.dtype == np.uint64
+        assert int(keys[0]) == int(expect[0])
+        # periodic boundaries wrap the same position to the origin cell
+        wrapped = morton_keys_of_positions(corner, np.zeros(3), box, depth)
+        assert int(wrapped[0]) == 0
+
+    def test_depth_22_rejected(self):
+        """Level 22 would need 66 key bits — past the uint64 budget."""
+        with pytest.raises(ValueError, match=r"depth must be in \[0, 21\]"):
+            morton_keys_of_positions(np.zeros((1, 3)), np.zeros(3), np.ones(3), 22)
+
+    def test_depth_21_roundtrip_of_random_cells(self):
+        rng = np.random.default_rng(2013)
+        c = rng.integers(0, 1 << MAX_BITS_3D, (256, 3)).astype(np.uint64)
+        dx, dy, dz = morton_decode3(morton_encode3(c[:, 0], c[:, 1], c[:, 2]))
+        assert (
+            np.array_equal(dx, c[:, 0])
+            and np.array_equal(dy, c[:, 1])
+            and np.array_equal(dz, c[:, 2])
+        )
