@@ -9,7 +9,9 @@ magnitude versus random.
 
 import pytest
 
+from conftest import margins as shared_margins
 from repro.bench.figures import fig6
+from repro.md.distributions import CLUSTERED_KINDS
 
 
 @pytest.fixture(scope="module")
@@ -19,11 +21,7 @@ def results(preset):
 
 @pytest.fixture(scope="module")
 def margins(preset):
-    """Shape margins: the contrasts sharpen with particles-per-process, so
-    the quick preset asserts looser factors than the paper-scale presets."""
-    if preset == "quick":
-        return {"sort_ratio": 3.0, "restore_ratio": 2.5}
-    return {"sort_ratio": 8.0, "restore_ratio": 5.0}
+    return shared_margins("fig6", preset)
 
 
 def test_fig6_benchmark(benchmark, preset):
@@ -53,3 +51,24 @@ class TestShape:
         for solver in ("fmm", "p2nfft"):
             r = results[solver]
             assert r["single"]["sort"] > r["random"]["sort"]
+
+
+class TestClusteredShape:
+    """The inhomogeneous workloads ride along fig6 (count-based
+    partitioning, no balancing): a clustered system must cost *more* per
+    FMM execution than the homogeneous grid case — the dense ranks
+    serialize the near field, which is exactly the imbalance
+    ``benchmarks/bench_balance.py`` shows the weighted partitioning
+    removing."""
+
+    def test_rows_present(self, results):
+        for solver in ("fmm", "p2nfft"):
+            for kind in CLUSTERED_KINDS:
+                assert f"clustered:{kind}" in results[solver]
+
+    def test_clustered_totals_exceed_homogeneous_grid(self, results):
+        r = results["fmm"]
+        for kind in ("two-cluster", "plummer"):
+            assert r[f"clustered:{kind}"]["total"] > r["grid"]["total"], (
+                f"{kind}: equal-count split should serialize the dense ranks"
+            )

@@ -10,6 +10,7 @@ method B's sort+resort stays flat and small.
 import numpy as np
 import pytest
 
+from conftest import margins as shared_margins
 from repro.bench.figures import fig8
 
 
@@ -20,11 +21,7 @@ def results(preset):
 
 @pytest.fixture(scope="module")
 def margins(preset):
-    """The redistribution *fraction* of the step total grows with the
-    particles-per-process ratio; quick-preset margins are looser."""
-    if preset == "quick":
-        return {"a_frac": 0.07, "a_total_growth": 1.05}
-    return {"a_frac": 0.12, "a_total_growth": 1.1}
+    return shared_margins("fig8", preset)
 
 
 def test_fig8_benchmark(benchmark, preset):

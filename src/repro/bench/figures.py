@@ -16,12 +16,15 @@ import numpy as np
 from repro.bench.harness import (
     BenchScale,
     PRESETS,
+    make_clustered_system,
     make_machine,
     make_system,
     step_breakdown,
 )
 from repro.bench.report import format_series, format_table, print_header
+from repro.md.distributions import CLUSTERED_KINDS
 from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import ParticleSystem
 from repro.simmpi.costmodel import JUQUEEN, JUROPA, SystemProfile
 
 __all__ = ["fig6", "fig7", "fig8", "fig9", "phases"]
@@ -42,9 +45,16 @@ def _simulate(
     dynamics: str = "force",
     brownian_step: float = 0.0,
     skip_compute: bool = False,
+    system: Optional[ParticleSystem] = None,
+    load_balance: str = "off",
+    solver_kwargs: Optional[dict] = None,
 ) -> Simulation:
     machine = make_machine(nprocs, profile)
-    system = make_system(n, scale.seed)
+    if system is None:
+        system = make_system(n, scale.seed)
+    kwargs = dict(solver_kwargs or {})
+    if skip_compute:
+        kwargs.setdefault("compute", "skip")
     cfg = SimulationConfig(
         solver=solver,
         method=method,
@@ -54,7 +64,8 @@ def _simulate(
         seed=scale.seed,
         dynamics=dynamics,
         brownian_step=brownian_step,
-        solver_kwargs={"compute": "skip"} if skip_compute else {},
+        solver_kwargs=kwargs,
+        load_balance=load_balance,
     )
     sim = Simulation(machine, system, cfg)
     sim.run(steps)
@@ -126,6 +137,14 @@ def fig6(preset: str = "default", quiet: bool = False) -> Dict:
     sequentially since its sort preserves part sizes), *random* in the
     middle, *process grid* cheapest with sort/restore at least an order of
     magnitude below random.
+
+    Beyond the paper, three **clustered presets** (rows
+    ``clustered:plummer`` / ``clustered:two-cluster`` /
+    ``clustered:exponential-slab``) run grid-distributed inhomogeneous
+    systems of the same size: the spatial clustering concentrates the
+    particles on few ranks, so their totals sit far above the homogeneous
+    grid row — the workload the load-balancing subsystem
+    (:mod:`repro.core.balance`) exists for.
     """
     scale = PRESETS[preset]
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -145,6 +164,23 @@ def fig6(preset: str = "default", quiet: bool = False) -> Dict:
             )
             b = step_breakdown(sim.records[0])
             results[solver][dist] = b
+        for kind in CLUSTERED_KINDS:
+            sim = _simulate(
+                scale,
+                n=scale.n,
+                nprocs=scale.nprocs,
+                profile=JUROPA,
+                solver=solver,
+                method="A",
+                distribution="grid",
+                steps=0,
+                skip_compute=True,
+                system=make_clustered_system(kind, scale.n, scale.seed),
+                solver_kwargs=(
+                    {"work_model": "density"} if solver == "fmm" else None
+                ),
+            )
+            results[solver][f"clustered:{kind}"] = step_breakdown(sim.records[0])
     if not quiet:
         print_header(
             f"Fig. 6 — initial particle distribution (method A, {scale.nprocs} procs, "

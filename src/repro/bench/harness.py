@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional
 
+from repro.md.distributions import clustered_system
 from repro.md.simulation import StepRecord
 from repro.md.systems import ParticleSystem, silica_melt_system
 from repro.simmpi.costmodel import SystemProfile
@@ -28,6 +29,7 @@ __all__ = [
     "step_breakdown",
     "make_machine",
     "make_system",
+    "make_clustered_system",
 ]
 
 #: phase labels counted as the solver's particle-placement redistribution
@@ -44,6 +46,7 @@ RESORT_PHASES = ("resort", "resort_plan")
 SOLVER_PHASES = (
     "keygen",
     "sort",
+    "balance",
     "halo",
     "near",
     "far",
@@ -168,4 +171,13 @@ def make_system(n: int, seed: int = 1) -> ParticleSystem:
     key = (n, seed)
     if key not in _SYSTEM_CACHE:
         _SYSTEM_CACHE[key] = silica_melt_system(n, seed=seed)
+    return _SYSTEM_CACHE[key]
+
+
+def make_clustered_system(kind: str, n: int, seed: int = 1) -> ParticleSystem:
+    """Cached inhomogeneous system (Plummer / two-cluster / exponential slab)
+    in the same box convention as :func:`make_system`."""
+    key = (kind, n, seed)
+    if key not in _SYSTEM_CACHE:
+        _SYSTEM_CACHE[key] = clustered_system(kind, n, seed=seed)
     return _SYSTEM_CACHE[key]

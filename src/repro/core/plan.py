@@ -379,6 +379,14 @@ class ResortPlan:
         are accepted without touching the data; otherwise the indices are
         compared element-wise — an unchanged distribution across time steps
         therefore skips recompilation entirely.
+
+        A load-balance rebalance (``repro.core.balance``, see
+        docs/load_balancing.md) moves the weighted split points, which
+        changes the resort indices and per-rank counts — this check then
+        correctly reports the cached plan stale and the handle recompiles.
+        No special invalidation hook is needed: rebalances are infrequent
+        by construction (the monitor's hysteresis), so the recompile cost
+        amortizes exactly like any other layout change.
         """
         if comm is not None and comm != self.comm:
             return False

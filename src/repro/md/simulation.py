@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.balance import LOAD_BALANCE_MODES, ImbalanceMonitor
 from repro.core.handle import FCS, fcs_init
 from repro.md.distributions import distribute
 from repro.md.integrator import accelerations, position_update, velocity_update
@@ -72,6 +73,27 @@ class SimulationConfig:
     #: machine before any cost is charged (the DST chaos harness); ``None``
     #: leaves the machine untouched
     perturbation: Optional[object] = None
+    #: weighted-partition load balancing (:mod:`repro.core.balance`):
+    #: ``"off"`` keeps the historical count-based partitioning bit-for-bit;
+    #: ``"static"`` rebalances once on the first solver run; ``"dynamic"``
+    #: attaches an :class:`~repro.core.balance.ImbalanceMonitor` that
+    #: triggers rebalances when λ = max/mean rank work crosses
+    #: ``balance_trigger`` (with ``balance_rearm`` hysteresis).  Only
+    #: solvers with ``supports_rebalance`` (the FMM) ever repartition;
+    #: others record the mode and ignore it.
+    load_balance: str = "off"
+    balance_trigger: float = 1.5
+    balance_rearm: float = 1.15
+    #: local array over-allocation passed to
+    #: :func:`~repro.md.distributions.distribute` — method B adopts a
+    #: changed layout only when it fits (Sect. III-B), and a *weighted*
+    #: layout is count-unequal by design, so balanced runs typically need
+    #: more headroom than the homogeneous default
+    capacity_factor: float = 3.0
+    #: trace phases whose per-rank nominal work feeds λ — near is the
+    #: distribution-sensitive cost, far is count-proportional, and the
+    #: weighted splitter balances their sum, so λ watches both
+    balance_phases: tuple = ("near", "far")
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -79,6 +101,11 @@ class SimulationConfig:
         if self.dynamics not in ("force", "brownian"):
             raise ValueError(
                 f"dynamics must be 'force' or 'brownian', got {self.dynamics!r}"
+            )
+        if self.load_balance not in LOAD_BALANCE_MODES:
+            raise ValueError(
+                f"load_balance must be one of {LOAD_BALANCE_MODES}, "
+                f"got {self.load_balance!r}"
             )
 
 
@@ -100,6 +127,9 @@ class StepRecord:
     #: redistribution method in effect ("A", "B", "B+move")
     method: str = ""
     energy: Optional[float] = None
+    #: load-imbalance factor λ = max/mean per-rank near-field work of this
+    #: step (``None`` unless a dynamic balance monitor is attached)
+    lambda_factor: Optional[float] = None
 
     def phase_time(self, *labels: str) -> float:
         """Summed virtual time of the given phase labels in this step."""
@@ -123,7 +153,11 @@ class Simulation:
             machine.perturb(cfg.perturbation)
 
         self.particles, self.vel, owner = distribute(
-            system, machine.nprocs, cfg.distribution, seed=cfg.seed
+            system,
+            machine.nprocs,
+            cfg.distribution,
+            seed=cfg.seed,
+            capacity_factor=cfg.capacity_factor,
         )
         self.ids: List[np.ndarray] = [
             np.flatnonzero(owner == r).astype(np.int64) for r in range(machine.nprocs)
@@ -140,6 +174,16 @@ class Simulation:
         self._switch_transient = False
         if self.active_method in ("B", "B+move"):
             self.fcs.set_resort(True)
+        #: the dynamic-mode :class:`~repro.core.balance.ImbalanceMonitor`
+        #: (``None`` unless ``load_balance="dynamic"`` on a solver that can
+        #: repartition ownership)
+        self.balance_monitor: Optional[ImbalanceMonitor] = None
+        if cfg.load_balance != "off":
+            self.fcs.solver.set_load_balance(cfg.load_balance)
+            if cfg.load_balance == "dynamic" and self.fcs.solver.supports_rebalance:
+                self.balance_monitor = ImbalanceMonitor(
+                    trigger=cfg.balance_trigger, rearm=cfg.balance_rearm
+                )
         self.records: List[StepRecord] = []
         self.step_index = 0
         self._initialized = False
@@ -163,11 +207,13 @@ class Simulation:
             raise RuntimeError("simulation already initialized")
         cfg = self.config
         snap = self.machine.trace.snapshot()
+        wsnap = self.machine.trace.rank_work_snapshot()
         t0 = self.machine.elapsed()
         self.fcs.tune(self.particles, cfg.accuracy)
         report = self.fcs.run(self.particles)
         if report.changed:
             self._resort_application_data(report)
+        lam = self._observe_balance(wsnap, step=0)
         self.acc = accelerations(self.particles.q, self.particles.field, cfg.mass)
         record = StepRecord(
             step=0,
@@ -178,6 +224,7 @@ class Simulation:
             strategy=report.strategy,
             method=self.active_method,
             energy=self._energy() if cfg.track_energy else None,
+            lambda_factor=lam,
         )
         self.records.append(record)
         self._initialized = True
@@ -191,6 +238,7 @@ class Simulation:
             raise RuntimeError("call initialize() before step()")
         cfg = self.config
         snap = self.machine.trace.snapshot()
+        wsnap = self.machine.trace.rank_work_snapshot()
         t0 = self.machine.elapsed()
 
         if cfg.method == "adaptive":
@@ -213,6 +261,7 @@ class Simulation:
         report = self.fcs.run(self.particles)
         if report.changed:
             self._resort_application_data(report)
+        lam = self._observe_balance(wsnap, step=self.step_index + 1)
 
         if cfg.dynamics == "brownian":
             # persistent random-walk surrogate: rotate directions slightly,
@@ -240,6 +289,7 @@ class Simulation:
             strategy=report.strategy,
             method=self.active_method,
             energy=self._energy() if cfg.track_energy else None,
+            lambda_factor=lam,
         )
         self.records.append(record)
         return record
@@ -324,6 +374,35 @@ class Simulation:
             self._switch_transient = True
         self.active_method = method
         self.fcs.set_resort(method in self._B_FAMILY)
+
+    # -- dynamic load balancing --------------------------------------------------------
+
+    def _observe_balance(
+        self, rank_work_snapshot: Dict[str, np.ndarray], step: int
+    ) -> Optional[float]:
+        """Feed this step's per-rank nominal work to the imbalance monitor.
+
+        On a trigger the solver is asked to rebalance on its *next* run, and
+        the adaptive-method bookkeeping treats that next step as a layout
+        transient (its one-off balance exchange is not any method's
+        steady-state redistribution cost).  The observed work is the
+        pre-perturbation nominal of :meth:`Trace.rank_work_delta
+        <repro.simmpi.tracing.Trace.rank_work_delta>`, so the decision is
+        schedule-independent.
+        """
+        if self.balance_monitor is None:
+            return None
+        delta = self.machine.trace.rank_work_delta(rank_work_snapshot)
+        work = np.zeros(self.machine.nprocs, dtype=np.float64)
+        for phase in self.config.balance_phases:
+            contribution = delta.get(phase)
+            if contribution is not None:
+                work += contribution
+        fired = self.balance_monitor.observe(work, step)
+        if fired:
+            self.fcs.solver.request_rebalance()
+            self._switch_transient = True
+        return self.balance_monitor.history[-1]
 
     # -- brownian surrogate dynamics ---------------------------------------------------
 

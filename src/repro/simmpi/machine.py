@@ -204,7 +204,16 @@ class Machine:
 
         An active perturbation scales each rank's time by its jitter/
         straggler factor — the clocks diverge, the computed data does not.
+        The *nominal* (pre-perturbation) per-rank seconds are additionally
+        recorded into :meth:`Trace.record_rank_work
+        <repro.simmpi.tracing.Trace.record_rank_work>` so the load-balancing
+        subsystem can observe the work distribution without its decisions
+        depending on the perturbation schedule.
         """
+        nominal = np.broadcast_to(
+            np.asarray(nominal_seconds, dtype=np.float64), (self.nprocs,)
+        )
+        self.trace.record_rank_work(phase, nominal)
         t = self.model.compute_time(nominal_seconds)
         if self._compute_factors is not None:
             t = t * self._compute_factors

@@ -28,6 +28,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterator, Optional
 
+import numpy as np
+
 __all__ = ["PhaseStats", "PhaseTimer", "Trace"]
 
 
@@ -98,6 +100,7 @@ class Trace:
         self._phases: Dict[str, PhaseStats] = {}
         self._counters: Dict[str, int] = {}
         self._notes: Dict[str, str] = {}
+        self._rank_work: Dict[str, np.ndarray] = {}
 
     def record(
         self,
@@ -136,6 +139,48 @@ class Trace:
     def get(self, phase: str) -> PhaseStats:
         """Return the stats for ``phase`` (zeros if never recorded)."""
         return self._phases.get(phase, PhaseStats())
+
+    # -- per-rank work -----------------------------------------------------------
+
+    def record_rank_work(self, phase: Optional[str], per_rank_seconds: np.ndarray) -> None:
+        """Accumulate per-rank **nominal** compute seconds under ``phase``.
+
+        The per-phase ``time`` aggregate above is a critical-path (max over
+        ranks) view, which erases the load distribution; the load-balancing
+        subsystem needs the full per-rank vector to compute the imbalance
+        factor λ = max/mean.  Fed by
+        :meth:`Machine.compute <repro.simmpi.machine.Machine.compute>` with
+        the *pre-perturbation* nominal cost so λ — and any rebalance decision
+        derived from it — is schedule-independent (the DST property).
+        """
+        label = phase if phase is not None else "other"
+        work = np.asarray(per_rank_seconds, dtype=np.float64)
+        existing = self._rank_work.get(label)
+        if existing is None:
+            self._rank_work[label] = np.zeros_like(work) + work
+        else:
+            existing += work
+
+    def rank_work(self, phase: str) -> Optional[np.ndarray]:
+        """Accumulated per-rank nominal seconds for ``phase`` (copy), or ``None``."""
+        work = self._rank_work.get(phase)
+        return None if work is None else work.copy()
+
+    def rank_work_snapshot(self) -> Dict[str, np.ndarray]:
+        """Deep copy of the per-rank work (for delta computation)."""
+        return {k: v.copy() for k, v in self._rank_work.items()}
+
+    def rank_work_delta(
+        self, snapshot: Dict[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Per-phase per-rank work accumulated since a :meth:`rank_work_snapshot`."""
+        out: Dict[str, np.ndarray] = {}
+        for label, work in self._rank_work.items():
+            before = snapshot.get(label)
+            d = work - before if before is not None else work.copy()
+            if np.any(d != 0.0):
+                out[label] = d
+        return out
 
     # -- event counters ---------------------------------------------------------
 
@@ -198,6 +243,7 @@ class Trace:
         self._phases.clear()
         self._counters.clear()
         self._notes.clear()
+        self._rank_work.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rows = ", ".join(

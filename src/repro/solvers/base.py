@@ -60,6 +60,11 @@ class RunReport:
     #: instead of sniffing the :attr:`strategy` string.
     comm: str = "alltoall"
 
+    #: per-rank nominal near-field compute seconds of this run (the work
+    #: distribution the load-balancing subsystem equalizes); ``None`` when
+    #: the solver does not report it
+    rank_work: Optional[np.ndarray] = None
+
     def __post_init__(self) -> None:
         if self.comm not in COMM_KINDS:
             raise ValueError(
@@ -73,12 +78,21 @@ class Solver:
     #: registry name ("fmm", "p2nfft", "direct")
     name: str = "abstract"
 
+    #: True iff the solver can repartition particle ownership to equalize
+    #: work (weighted partition sort).  Grid-owned solvers (P2NFFT) and
+    #: replicated solvers (direct, Ewald) cannot: their decomposition is
+    #: fixed by the mesh / by replication, so :meth:`request_rebalance` is
+    #: accepted but has no effect.
+    supports_rebalance: bool = False
+
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self.box: Optional[np.ndarray] = None
         self.offset: Optional[np.ndarray] = None
         self.periodic: bool = True
         self._tuned = False
+        self._load_balance = "off"
+        self._rebalance_pending = False
 
     # -- configuration ---------------------------------------------------------
 
@@ -110,6 +124,32 @@ class Solver:
     def require_common(self) -> None:
         if self.box is None:
             raise RuntimeError("set_common must be called before tune/run")
+
+    # -- load balancing ----------------------------------------------------------
+
+    def set_load_balance(self, mode: str) -> None:
+        """Select the load-balance mode (``"off" | "static" | "dynamic"``).
+
+        ``"static"`` schedules exactly one weighted rebalance, consumed by
+        the next :meth:`run`; ``"dynamic"`` leaves triggering to the caller
+        (an :class:`~repro.core.balance.ImbalanceMonitor`) through
+        :meth:`request_rebalance`.  Ignored (mode recorded, never acted on)
+        by solvers with ``supports_rebalance = False``.
+        """
+        from repro.core.balance import LOAD_BALANCE_MODES
+
+        if mode not in LOAD_BALANCE_MODES:
+            raise ValueError(
+                f"load_balance must be one of {LOAD_BALANCE_MODES}, got {mode!r}"
+            )
+        self._load_balance = mode
+        self._rebalance_pending = mode == "static" and self.supports_rebalance
+
+    def request_rebalance(self) -> None:
+        """Schedule a weighted rebalance for the next :meth:`run` (dynamic
+        mode); a no-op on solvers that cannot repartition ownership."""
+        if self.supports_rebalance and self._load_balance != "off":
+            self._rebalance_pending = True
 
     # -- execution ---------------------------------------------------------------
 

@@ -56,6 +56,10 @@ class FMMSolver(Solver):
 
     name = "fmm"
 
+    #: the Z-curve is split at particle granularity, so ownership can be
+    #: repartitioned freely — the FMM is the solver that rebalances
+    supports_rebalance = True
+
     def __init__(
         self,
         machine: Machine,
@@ -64,12 +68,17 @@ class FMMSolver(Solver):
         lattice_shells: int = 3,
         boundary: str = "tinfoil",
         compute: str = "full",
+        work_model: str = "uniform",
     ) -> None:
         super().__init__(machine)
         if boundary not in ("tinfoil", "vacuum"):
             raise ValueError(f"boundary must be 'tinfoil' or 'vacuum', got {boundary!r}")
         if compute not in ("full", "skip"):
             raise ValueError(f"compute must be 'full' or 'skip', got {compute!r}")
+        if work_model not in ("uniform", "density"):
+            raise ValueError(
+                f"work_model must be 'uniform' or 'density', got {work_model!r}"
+            )
         self._order_override = order
         self._depth_override = depth
         self.lattice_shells = int(lattice_shells)
@@ -79,6 +88,14 @@ class FMMSolver(Solver):
         #: solver compute from analytic workload estimates — used by the
         #: long-running scaling benchmarks (DESIGN.md §5)
         self.compute_mode = compute
+        #: near-field workload estimate used only by the skip-compute mode:
+        #: ``"uniform"`` assumes homogeneous box occupancy (historical
+        #: behavior, exact for the silica melt); ``"density"`` derives each
+        #: rank's pair count from its actual leaf-box occupancies, which is
+        #: what lets clustered systems show their imbalance without paying
+        #: full force arithmetic.  Full-compute runs always count real pairs
+        #: and ignore this knob.
+        self.work_model = work_model
         self.tree: Optional[FMMTree] = None
 
     # -- solver-specific setter functions (fcs_fmm_set_*) -----------------------
@@ -151,12 +168,65 @@ class FMMSolver(Solver):
         self.machine.compute(cost, phase="keygen")
         return blocks
 
+    def _attach_weights(self, blocks: Sequence[ColumnBlock]) -> None:
+        """Attach a per-particle ``weight`` column: modeled execution cost.
+
+        One allgather of the local key arrays (phase ``"balance"``) gives
+        every rank the global box histogram.  A particle's weight is its
+        modeled per-particle execution cost — the linked-cell near-field
+        pair estimate (``27 * occupancy`` interactions, the global-histogram
+        version of :func:`repro.core.balance.occupancy_weights`) plus the
+        per-particle far-field share (P2M/L2P plus an even split of the
+        tree-pass operator cost, which :meth:`_charge_far_field` charges
+        proportionally to owned counts).  Balancing the weight column
+        therefore balances the modeled near+far compute, not just the pair
+        sums: a near-only weight would starve dense-box ranks of particles
+        and pile count-proportional far-field work onto the sparse ranks.
+        """
+        machine = self.machine
+        gathered = allgatherv(machine, [b["key"] for b in blocks], "balance")
+        all_keys = gathered[0]
+        n_total = int(all_keys.shape[0])
+        uniq, counts = np.unique(all_keys, return_counts=True)
+        far_stats = self._estimate_far_stats(n_total)
+        op_cost = (
+            (far_stats.m2m_ops + far_stats.l2l_ops + far_stats.m2l_ops)
+            * far_stats.ncoef
+            * far_stats.ncoef
+        ) * kernels.EXPANSION_TERM
+        far_per_particle = far_stats.ncoef * kernels.EXPANSION_TERM * 2.0
+        if n_total:
+            far_per_particle += op_cost / n_total
+        cost = np.zeros(machine.nprocs)
+        histogram_cost = kernels.KEY_SORT_STEP * n_total * max(
+            1.0, float(np.log2(max(n_total, 2)))
+        )
+        for r, b in enumerate(blocks):
+            idx = np.searchsorted(uniq, b["key"])
+            near = kernels.PAIR_INTERACTION * 27.0 * counts[idx].astype(np.float64)
+            b["weight"] = near + far_per_particle
+            cost[r] = histogram_cost
+        machine.compute(cost, phase="balance")
+
     def _sort(
         self,
         blocks: Sequence[ColumnBlock],
         max_move: Optional[float],
+        *,
+        rebalance: bool = False,
     ) -> Tuple[List[ColumnBlock], str]:
-        """Parallel sort by box number, picking the strategy per Sect. III-B."""
+        """Parallel sort by box number, picking the strategy per Sect. III-B.
+
+        ``rebalance=True`` forces the partition-based method with weighted
+        split bounds (the ``weight`` column must be attached): a rebalance
+        moves ownership anyway, so the merge network's almost-sorted
+        shortcut does not apply.
+        """
+        if rebalance:
+            sorted_blocks = partition_sort(
+                self.machine, blocks, "key", phase="sort", balance_key="weight"
+            )
+            return sorted_blocks, "partition+balance"
         use_merge = (
             max_move is not None
             and fmm_prefers_merge_sort(self.box, self.machine.nprocs, max_move)
@@ -352,8 +422,16 @@ class FMMSolver(Solver):
         P = machine.nprocs
         old_counts = particles.counts()
 
+        rebalance = self._rebalance_pending and self._load_balance != "off" and P > 1
+        self._rebalance_pending = False
         blocks = self._make_blocks(particles)
-        blocks, strategy = self._sort(blocks, max_move)
+        if rebalance:
+            self._attach_weights(blocks)
+            blocks, strategy = self._sort(blocks, max_move, rebalance=True)
+            blocks = [b.drop("weight") for b in blocks]
+            machine.trace.bump("balance.rebalances")
+        else:
+            blocks, strategy = self._sort(blocks, max_move)
         new_counts = np.asarray([b.n for b in blocks], dtype=np.int64)
 
         ownership = self._ownership(blocks)
@@ -372,6 +450,16 @@ class FMMSolver(Solver):
             if self.compute_mode == "skip":
                 pots.append(np.zeros(own.n))
                 fields.append(np.zeros((own.n, 3)))
+                if self.work_model == "density":
+                    # pair estimate from actual leaf occupancy: a box of k
+                    # particles contributes ~27 k^2 neighborhood pairs (the
+                    # sort makes boxes rank-contiguous, so local counts are
+                    # the global ones up to boundary boxes)
+                    _, box_counts = np.unique(own["key"], return_counts=True)
+                    near_cost[r] = kernels.PAIR_INTERACTION * 27.0 * float(
+                        np.square(box_counts.astype(np.float64)).sum()
+                    )
+                    continue
                 # analytic pair estimate: homogeneous occupancy over the
                 # populated neighborhood
                 occupancy = float(sum(new_counts)) / self.tree.nboxes_leaf
@@ -445,6 +533,7 @@ class FMMSolver(Solver):
                 new_counts=new_counts,
                 strategy=strategy,
                 comm="alltoall",
+                rank_work=near_cost,
             )
 
         restore_results(
@@ -462,4 +551,5 @@ class FMMSolver(Solver):
             new_counts=old_counts,
             strategy=strategy,
             comm="alltoall",
+            rank_work=near_cost,
         )

@@ -378,6 +378,7 @@ class P2NFFTSolver(Solver):
                 new_counts=new_counts,
                 strategy=strategy,
                 comm=comm,
+                rank_work=near_cost,
             )
 
         restore_results(
@@ -395,4 +396,5 @@ class P2NFFTSolver(Solver):
             new_counts=old_counts,
             strategy=strategy,
             comm=comm,
+            rank_work=near_cost,
         )

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import kernels
+from repro.core.balance import work_split_bounds
 from repro.core.particles import ColumnBlock
 from repro.perf import instrument
 from repro.simmpi.collectives import allgatherv, alltoallv
@@ -43,6 +44,8 @@ def select_splitters(
     sorted_keys: Sequence[np.ndarray],
     oversampling: int = 16,
     phase: Optional[str] = None,
+    *,
+    weights: Optional[Sequence[np.ndarray]] = None,
 ) -> np.ndarray:
     """Agree on ``P-1`` global splitter keys by regular sampling.
 
@@ -50,22 +53,60 @@ def select_splitters(
     its locally sorted run; the gathered sample is sorted everywhere and
     regular positions become the splitters.  With regular sampling the
     resulting partition sizes are bounded by roughly ``2 n / P``.
+
+    With per-element work ``weights`` (one array per rank, aligned with
+    ``sorted_keys``) the sampling and the splitter positions both move from
+    element counts to *cumulative work*: each rank samples at regular work
+    quantiles of its local run, the sampled weights ride the gather, and
+    splitters land at regular work quantiles of the key-sorted sample — so
+    the agreed partition equalizes estimated work instead of counts.
+    ``weights=None`` is bitwise-identical to the historical count-based
+    behavior (same samples, same single allgather, same charge).
     """
     P = machine.nprocs
     samples: List[np.ndarray] = []
-    for keys in sorted_keys:
+    wsamples: List[np.ndarray] = []
+    for r, keys in enumerate(sorted_keys):
         n = keys.shape[0]
         if n == 0:
             samples.append(np.empty(0, dtype=np.uint64))
+            wsamples.append(np.empty(0, dtype=np.float64))
             continue
         s = min(oversampling, n)
-        pos = ((np.arange(s, dtype=np.float64) + 0.5) * n / s).astype(np.int64)
+        if weights is None:
+            pos = ((np.arange(s, dtype=np.float64) + 0.5) * n / s).astype(np.int64)
+        else:
+            w = np.asarray(weights[r], dtype=np.float64)
+            if w.shape[0] != n:
+                raise ValueError(
+                    f"rank {r}: {w.shape[0]} weights for {n} keys"
+                )
+            cumw = np.cumsum(w)
+            total = float(cumw[-1])
+            if total <= 0.0:
+                pos = ((np.arange(s, dtype=np.float64) + 0.5) * n / s).astype(np.int64)
+            else:
+                targets = (np.arange(s, dtype=np.float64) + 0.5) * (total / s)
+                pos = np.minimum(
+                    np.searchsorted(cumw, targets, side="right"), n - 1
+                ).astype(np.int64)
+            wsamples.append(np.ascontiguousarray(w[pos]))
         samples.append(np.ascontiguousarray(keys[pos]))
     gathered = allgatherv(machine, samples, phase)[0]
-    gathered = np.sort(gathered)
+    if weights is not None:
+        gathered_w = allgatherv(machine, wsamples, phase)[0]
+        sorder = np.argsort(gathered, kind="stable")
+        gathered = gathered[sorder]
+        gathered_w = gathered_w[sorder]
+    else:
+        gathered = np.sort(gathered)
     if gathered.size == 0 or P == 1:
         return np.empty(0, dtype=np.uint64)
-    pos = ((np.arange(1, P, dtype=np.float64)) * gathered.size / P).astype(np.int64)
+    if weights is not None:
+        pos = work_split_bounds(gathered_w, P)[1:P]
+        pos = np.minimum(pos, gathered.size - 1)
+    else:
+        pos = ((np.arange(1, P, dtype=np.float64)) * gathered.size / P).astype(np.int64)
     # sorting the gathered sample is a bare key sort, not a record sort
     machine.compute(
         np.full(
@@ -165,6 +206,7 @@ def partition_sort(
     target_counts: Optional[Sequence[int]] = None,
     oversampling: int = 32,
     presorted: bool = False,
+    balance_key: Optional[str] = None,
 ) -> List[ColumnBlock]:
     """Globally sort distributed blocks by ``key`` into exact part sizes.
 
@@ -174,6 +216,13 @@ def partition_sort(
     single-process initial distribution the sorted particles therefore stay
     on that process and the solver computes sequentially (Fig. 6).  Pass
     balanced counts to rebalance instead.
+
+    Alternatively pass ``balance_key`` naming a per-element work-weight
+    column: the part boundaries are then chosen to equalize *cumulative
+    work* along the sorted key order (weighted space-filling-curve
+    partitioning) instead of honoring externally fixed counts — the
+    load-balanced mode of :mod:`repro.core.balance`.  Mutually exclusive
+    with ``target_counts``.
 
     Returns new per-rank blocks: locally sorted, globally partitioned
     (all keys on rank ``i`` <= all keys on rank ``j`` for ``i < j``) with
@@ -186,23 +235,32 @@ def partition_sort(
     """
     if len(blocks) != machine.nprocs:
         raise ValueError(f"{len(blocks)} blocks for {machine.nprocs} ranks")
+    if balance_key is not None and target_counts is not None:
+        raise ValueError("pass either balance_key or target_counts, not both")
     P = machine.nprocs
     current = list(blocks) if presorted else local_sort(machine, blocks, key, phase)
-    if target_counts is None:
-        target_counts = [b.n for b in current]
-    else:
-        target_counts = [int(c) for c in target_counts]
-        total = sum(b.n for b in current)
-        if sum(target_counts) != total:
-            raise ValueError(
-                f"target_counts sum {sum(target_counts)} != total elements {total}"
-            )
+    if balance_key is None:
+        if target_counts is None:
+            target_counts = [b.n for b in current]
+        else:
+            target_counts = [int(c) for c in target_counts]
+            total = sum(b.n for b in current)
+            if sum(target_counts) != total:
+                raise ValueError(
+                    f"target_counts sum {sum(target_counts)} != total elements {total}"
+                )
     if P == 1:
         return current
 
     # communication of the splitter agreement: one sample allgather plus an
     # exact-partitioning refinement round of scalar reductions [12]
-    select_splitters(machine, [b[key] for b in current], oversampling, phase)
+    select_splitters(
+        machine,
+        [b[key] for b in current],
+        oversampling,
+        phase,
+        weights=None if balance_key is None else [b[balance_key] for b in current],
+    )
     if machine.auditor is not None:
         machine.auditor.observe_collective(phase, 2 * (P - 1), 0)
     machine.advance(
@@ -219,7 +277,13 @@ def partition_sort(
     )
     local_pos = np.concatenate([np.arange(b.n, dtype=np.int64) for b in current])
     order = np.argsort(all_keys, kind="stable")  # stable = (rank, pos) tie order
-    bounds = np.concatenate(([0], np.cumsum(np.asarray(target_counts, dtype=np.int64))))
+    if balance_key is not None:
+        all_weights = np.concatenate([b[balance_key] for b in current])
+        bounds = work_split_bounds(all_weights[order], P)
+    else:
+        bounds = np.concatenate(
+            ([0], np.cumsum(np.asarray(target_counts, dtype=np.int64)))
+        )
     dest = partition_destinations(order, bounds)
 
     sends: List[dict] = []

@@ -125,15 +125,33 @@ def _dst_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--system-seed", type=int, default=0, help="system/trajectory seed"
     )
+    parser.add_argument(
+        "--distributions",
+        nargs="+",
+        choices=["homogeneous", "clustered"],
+        default=None,
+        metavar="DIST",
+        help=(
+            "workload axis: 'homogeneous' (silica melt, the default) and/or "
+            "'clustered' (two-cluster system with dynamic load balancing — "
+            "chaos-tests the weighted repartition path)"
+        ),
+    )
     return parser
 
 
 def main_dst(argv: List[str]) -> int:
-    from repro.verify.dst import DEFAULT_METHODS, DEFAULT_SOLVERS, run_dst
+    from repro.verify.dst import (
+        DEFAULT_DISTRIBUTIONS,
+        DEFAULT_METHODS,
+        DEFAULT_SOLVERS,
+        run_dst,
+    )
 
     args = _dst_parser().parse_args(argv)
     solvers = args.solvers or list(DEFAULT_SOLVERS)
     methods = args.methods or list(DEFAULT_METHODS)
+    distributions = args.distributions or list(DEFAULT_DISTRIBUTIONS)
     report = run_dst(
         solvers,
         methods,
@@ -143,6 +161,7 @@ def main_dst(argv: List[str]) -> int:
         n_particles=args.particles,
         seed_list=args.seed_list,
         system_seed=args.system_seed,
+        distributions=distributions,
         progress=print,
     )
     print(report.summary())

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.md.distributions import clustered_system
 from repro.md.simulation import Simulation, SimulationConfig
 from repro.md.systems import silica_melt_system
 from repro.simmpi.chaos import Perturbation
@@ -49,8 +50,10 @@ from repro.verify.audit import enable_auditing
 from repro.verify.invariants import InvariantChecker, state_fingerprint
 
 __all__ = [
+    "DEFAULT_DISTRIBUTIONS",
     "DEFAULT_METHODS",
     "DEFAULT_SOLVERS",
+    "DST_DISTRIBUTIONS",
     "DstFailure",
     "DstReport",
     "ledger_fingerprint",
@@ -65,6 +68,17 @@ DEFAULT_SOLVERS = ("direct", "ewald", "fmm", "p2nfft")
 #: reads modeled costs to pick its method, so its behavior legitimately
 #: depends on the perturbation
 DEFAULT_METHODS = ("A", "B", "B+move")
+
+#: the workload axis: ``"homogeneous"`` is the silica-melt analogue;
+#: ``"clustered"`` is the two-cluster system run with *dynamic load
+#: balancing* at an aggressive trigger — the balance decision reads only
+#: nominal (pre-perturbation) rank work, so rebalances must fire at the
+#: same steps and produce bitwise-identical physics under every schedule
+DST_DISTRIBUTIONS = ("homogeneous", "clustered")
+
+#: default sweep stays on the homogeneous workload (cost); pass
+#: ``--distributions clustered`` to exercise the balancing path
+DEFAULT_DISTRIBUTIONS = ("homogeneous",)
 
 _PROBE_SALT = 0x0B5E_12E
 
@@ -93,6 +107,7 @@ class DstFailure:
     method: str
     seed: int
     detail: str
+    distribution: str = "homogeneous"
 
     def repro_command(self, *, nprocs: int, steps: int, particles: int) -> str:
         """One-line command reproducing exactly this failing cell.
@@ -112,6 +127,7 @@ class DstFailure:
             f"python -m repro.verify dst --solvers {self.solver} "
             f"--methods {self.method!r} --steps {steps} "
             f"--particles {particles} --nprocs {nprocs} "
+            f"--distributions {self.distribution} "
             f"--seed-list {self.seed}"
         )
 
@@ -129,6 +145,7 @@ class DstReport:
     trajectories: int
     probes: int
     failures: List[DstFailure]
+    distributions: Tuple[str, ...] = DEFAULT_DISTRIBUTIONS
 
     @property
     def ok(self) -> bool:
@@ -139,7 +156,9 @@ class DstReport:
         return (
             f"[{status}] dst: {self.trajectories} trajectories + "
             f"{self.probes} spmd probes, solvers={list(self.solvers)} "
-            f"methods={list(self.methods)} seeds={len(self.seeds)} "
+            f"methods={list(self.methods)} "
+            f"distributions={list(self.distributions)} "
+            f"seeds={len(self.seeds)} "
             f"steps={self.steps} nprocs={self.nprocs} "
             f"particles={self.particles}"
         )
@@ -164,6 +183,7 @@ def _run_cell(
     perturbation: Optional[Perturbation],
     reference: Optional[_Reference],
     solver_kwargs: Optional[dict] = None,
+    distribution: str = "homogeneous",
 ) -> _Reference:
     """Run one trajectory; check against ``reference`` when given.
 
@@ -172,9 +192,30 @@ def _run_cell(
     checkpoint; perturbed runs assert ``schedule-independence`` against the
     recorded fingerprints (so a divergence is pinned to the first step it
     appears in, per component).
+
+    ``distribution="clustered"`` swaps in the two-cluster system and turns
+    on dynamic load balancing with an aggressive trigger, so the weighted
+    repartition runs inside the perturbed schedule — the monitor reads
+    only nominal work, hence the fingerprints must not move.
     """
+    if distribution not in DST_DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; pick from {DST_DISTRIBUTIONS}"
+        )
     machine = Machine(nprocs)
-    system = silica_melt_system(n_particles, seed=system_seed)
+    balance_kwargs: Dict = {}
+    if distribution == "clustered":
+        system = clustered_system("two-cluster", n_particles, seed=system_seed)
+        balance_kwargs = dict(
+            load_balance="dynamic",
+            balance_trigger=1.02,
+            balance_rearm=1.01,
+            capacity_factor=6.0,
+        )
+        if solver == "fmm":
+            solver_kwargs = dict(solver_kwargs or {}, work_model="density")
+    else:
+        system = silica_melt_system(n_particles, seed=system_seed)
     config = SimulationConfig(
         solver=solver,
         method=method,
@@ -182,6 +223,7 @@ def _run_cell(
         track_energy=True,
         solver_kwargs=dict(solver_kwargs or {}),
         perturbation=perturbation,
+        **balance_kwargs,
     )
     sim = Simulation(machine, system, config)
     auditor = enable_auditing(machine)
@@ -318,58 +360,80 @@ def run_dst(
     seed_list: Optional[Sequence[int]] = None,
     system_seed: int = 0,
     probe_rounds: int = 3,
+    distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
     progress: Optional[Callable[[str], None]] = None,
 ) -> DstReport:
-    """Sweep every (solver, method) cell under ``seeds`` perturbation seeds.
+    """Sweep every (solver, method, distribution) cell under ``seeds``
+    perturbation seeds.
 
     ``seed_list`` overrides the default ``1..seeds`` range (reproducing a
     recorded failure).  Seed 0 is the null perturbation and is always the
     reference; listing it explicitly re-checks byte-identity of the null
     perturbation against the unperturbed reference.
+    ``distributions`` extends the sweep along the workload axis — pass
+    ``("clustered",)`` (or both) to chaos-test the dynamic load balancer.
     """
     say = progress if progress is not None else (lambda msg: None)
     chosen = list(seed_list) if seed_list is not None else list(range(1, seeds + 1))
     failures: List[DstFailure] = []
     trajectories = 0
 
-    for solver in solvers:
-        for method in methods:
-            say(f"dst: {solver}/{method} reference schedule ...")
-            reference = _run_cell(
-                solver,
-                method,
-                nprocs,
-                steps=steps,
-                n_particles=n_particles,
-                system_seed=system_seed,
-                perturbation=None,
-                reference=None,
-            )
-            trajectories += 1
-            for seed in chosen:
-                perturbation = Perturbation.sample(seed)
-                try:
-                    _run_cell(
-                        solver,
-                        method,
-                        nprocs,
-                        steps=steps,
-                        n_particles=n_particles,
-                        system_seed=system_seed,
-                        perturbation=perturbation,
-                        reference=reference,
-                    )
-                except SPMDDeadlock as exc:
-                    failures.append(
-                        DstFailure(solver, method, seed, f"deadlock: {exc}")
-                    )
-                except AssertionError as exc:
-                    failures.append(DstFailure(solver, method, seed, str(exc)))
+    for distribution in distributions:
+        for solver in solvers:
+            for method in methods:
+                cell = f"{solver}/{method}/{distribution}"
+                say(f"dst: {cell} reference schedule ...")
+                reference = _run_cell(
+                    solver,
+                    method,
+                    nprocs,
+                    steps=steps,
+                    n_particles=n_particles,
+                    system_seed=system_seed,
+                    perturbation=None,
+                    reference=None,
+                    distribution=distribution,
+                )
                 trajectories += 1
-            say(
-                f"dst: {solver}/{method} {len(chosen)} seeds "
-                f"{'ok' if not any(f.solver == solver and f.method == method for f in failures) else 'FAILED'}"
-            )
+                for seed in chosen:
+                    perturbation = Perturbation.sample(seed)
+                    try:
+                        _run_cell(
+                            solver,
+                            method,
+                            nprocs,
+                            steps=steps,
+                            n_particles=n_particles,
+                            system_seed=system_seed,
+                            perturbation=perturbation,
+                            reference=reference,
+                            distribution=distribution,
+                        )
+                    except SPMDDeadlock as exc:
+                        failures.append(
+                            DstFailure(
+                                solver, method, seed, f"deadlock: {exc}",
+                                distribution=distribution,
+                            )
+                        )
+                    except AssertionError as exc:
+                        failures.append(
+                            DstFailure(
+                                solver, method, seed, str(exc),
+                                distribution=distribution,
+                            )
+                        )
+                    trajectories += 1
+                failed_cell = any(
+                    f.solver == solver
+                    and f.method == method
+                    and f.distribution == distribution
+                    for f in failures
+                )
+                say(
+                    f"dst: {cell} {len(chosen)} seeds "
+                    f"{'FAILED' if failed_cell else 'ok'}"
+                )
 
     probe_failures = run_order_invariance_probe(
         nprocs, chosen, rounds=probe_rounds, system_seed=system_seed
@@ -387,4 +451,5 @@ def run_dst(
         trajectories=trajectories,
         probes=probes,
         failures=failures,
+        distributions=tuple(distributions),
     )

@@ -39,6 +39,10 @@ The catalog covers the failure modes a redistribution bug produces:
 ``schedule-independence``     the physics state fingerprint is bitwise
                               identical to the reference schedule's (armed by
                               the DST runner via ``expected_fingerprint``)
+``balance-conservation``      weighted rebalancing permutes but never drops
+                              particles, and the observed imbalance factor
+                              after a triggered rebalance never exceeds the
+                              factor that triggered it
 ``clock-monotonicity``        virtual clocks and per-phase times never go
                               negative
 ============================  ====================================================
@@ -95,6 +99,7 @@ AUDITED_PHASES = frozenset(
         "gather",
         "integrate",
         "tune",
+        "balance",
     }
 )
 
@@ -607,6 +612,34 @@ def _check_schedule_independence(checker: InvariantChecker) -> object:
             f"component(s) {diverged} diverged from the reference schedule "
             f"under perturbation [{pert}]"
         )
+    return None
+
+
+@invariant(
+    "balance-conservation",
+    "weighted rebalancing permutes but never drops particles, and never "
+    "worsens the load-imbalance factor",
+)
+def _check_balance(checker: InvariantChecker) -> object:
+    monitor = getattr(checker.sim, "balance_monitor", None)
+    if monitor is None or not monitor.events:
+        return SKIPPED
+    # the weighted partition is a permutation of ownership: the global
+    # particle count must match the attach-time baseline exactly
+    total = int(sum(p.shape[0] for p in checker.sim.particles.pos))
+    if total != checker.expected_total:
+        return (
+            f"rebalance changed the particle count: {total}, "
+            f"expected {checker.expected_total}"
+        )
+    for event in monitor.events:
+        if event.lambda_after is None:
+            continue  # rebalance fired but its effect is not yet observed
+        if event.lambda_after > event.lambda_before * (1.0 + 1e-9):
+            return (
+                f"rebalance at step {event.step} worsened the imbalance: "
+                f"lambda {event.lambda_before:.6f} -> {event.lambda_after:.6f}"
+            )
     return None
 
 

@@ -1,0 +1,117 @@
+"""The inhomogeneous (clustered) system generators and their conformance.
+
+Two layers:
+
+* generator properties — determinism, charge neutrality, the paper's box
+  convention, and the density *contrast* that makes each distribution a
+  load-balancing workload in the first place,
+* conformance — for every generator and every redistribution method, a
+  dynamically balanced FMM run reproduces the unbalanced trajectory (the
+  solver-level solver × generator matrix lives in
+  ``tests/core/test_balance.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.md.distributions import (
+    CLUSTERED_KINDS,
+    clustered_system,
+    distribute,
+)
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import PAPER_BOX_EDGE, PAPER_N
+from repro.simmpi.machine import Machine
+from repro.verify.differential import compare_states
+from repro.zorder.morton import morton_keys_of_positions
+
+
+# -- generator properties ------------------------------------------------------
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", CLUSTERED_KINDS)
+    def test_deterministic(self, kind):
+        a = clustered_system(kind, 256, seed=9)
+        b = clustered_system(kind, 256, seed=9)
+        np.testing.assert_array_equal(a.pos, b.pos)
+        np.testing.assert_array_equal(a.q, b.q)
+
+    @pytest.mark.parametrize("kind", CLUSTERED_KINDS)
+    def test_charge_neutral_and_in_box(self, kind):
+        system = clustered_system(kind, 512, seed=3)
+        assert system.q.sum() == 0.0
+        assert set(np.unique(system.q)) == {-1.0, 1.0}
+        assert np.all(system.pos >= 0.0)
+        assert np.all(system.pos < system.box)
+        assert np.all(system.vel == 0.0)
+
+    @pytest.mark.parametrize("kind", CLUSTERED_KINDS)
+    def test_paper_box_convention(self, kind):
+        """Same density convention as the homogeneous silica melt, so
+        clustered and homogeneous systems of equal n share a box."""
+        n = 4096
+        system = clustered_system(kind, n)
+        expected = PAPER_BOX_EDGE * (n / PAPER_N) ** (1.0 / 3.0)
+        np.testing.assert_allclose(system.box, expected)
+
+    @pytest.mark.parametrize("kind", CLUSTERED_KINDS)
+    def test_density_contrast(self, kind):
+        """Leaf-box occupancies must be *skewed*: the busiest box holds
+        far more than the mean — otherwise the generator is no
+        load-balancing workload at all."""
+        n = 4096
+        system = clustered_system(kind, n, seed=1)
+        keys = morton_keys_of_positions(system.pos, np.zeros(3), system.box, depth=3)
+        _, counts = np.unique(keys, return_counts=True)
+        mean_occupancy = n / 512.0  # 8^3 boxes at level 3
+        assert counts.max() >= 4.0 * mean_occupancy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_system("blob", 64)
+        with pytest.raises(ValueError):
+            clustered_system("plummer", 65)  # odd n breaks neutrality
+
+    @pytest.mark.parametrize("kind", CLUSTERED_KINDS)
+    def test_distributes_under_every_scheme(self, kind):
+        system = clustered_system(kind, 256, seed=5)
+        for scheme in ("single", "random", "grid"):
+            pset, vel, owner = distribute(system, 8, scheme, seed=1)
+            assert pset.total() == system.n
+
+
+# -- conformance: generator x method, balanced vs unbalanced -------------------
+
+
+def run(kind, method, load_balance):
+    machine = Machine(4)
+    sim = Simulation(
+        machine,
+        clustered_system(kind, 96, seed=4),
+        SimulationConfig(
+            solver="fmm",
+            method=method,
+            distribution="random",
+            seed=4,
+            dynamics="force",
+            solver_kwargs={"work_model": "density"},
+            load_balance=load_balance,
+            balance_trigger=1.02,
+            balance_rearm=1.01,
+            capacity_factor=6.0,
+        ),
+    )
+    sim.run(2)
+    return sim.gather_state(), machine.trace.counter("balance.rebalances")
+
+
+class TestConformanceByMethod:
+    @pytest.mark.parametrize("method", ["A", "B", "B+move"])
+    @pytest.mark.parametrize("kind", CLUSTERED_KINDS)
+    def test_balanced_equals_unbalanced(self, kind, method):
+        reference, ref_rebalances = run(kind, method, "off")
+        balanced, rebalances = run(kind, method, "dynamic")
+        assert ref_rebalances == 0
+        assert rebalances >= 1  # the aggressive trigger really fired
+        assert compare_states(reference, balanced) is None

@@ -110,7 +110,25 @@ class TestDivergenceDetection:
         cmd = failure.repro_command(nprocs=4, steps=5, particles=24)
         assert cmd == (
             "python -m repro.verify dst --solvers fmm --methods 'B+move' "
-            "--steps 5 --particles 24 --nprocs 4 --seed-list 17"
+            "--steps 5 --particles 24 --nprocs 4 "
+            "--distributions homogeneous --seed-list 17"
+        )
+
+    def test_clustered_failure_repro_command_pins_distribution(self):
+        """A failing seed on the balance perturbation axis reproduces with
+        the clustered workload, not the homogeneous default."""
+        failure = DstFailure(
+            solver="fmm",
+            method="B",
+            seed=23,
+            detail="diverged",
+            distribution="clustered",
+        )
+        cmd = failure.repro_command(nprocs=4, steps=5, particles=24)
+        assert cmd == (
+            "python -m repro.verify dst --solvers fmm --methods 'B' "
+            "--steps 5 --particles 24 --nprocs 4 "
+            "--distributions clustered --seed-list 23"
         )
 
 
@@ -181,6 +199,27 @@ class TestCli:
         )
         assert code == 0
         assert "seeds=1" in capsys.readouterr().out
+
+    def test_dst_clustered_distribution_axis(self, capsys):
+        """The balance perturbation axis: the two-cluster workload with
+        dynamic balancing is schedule-independent — the rebalance fires at
+        the same step and produces bitwise-identical state under every
+        perturbation seed."""
+        from repro.verify.__main__ import main_dst
+
+        code = main_dst(
+            [
+                "--solvers", "fmm",
+                "--methods", "B",
+                "--seeds", "2",
+                "--steps", "2",
+                "--particles", "96",
+                "--distributions", "clustered",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distributions=['clustered']" in out
 
 
 class TestOrderInvarianceProbe:
