@@ -36,7 +36,7 @@ def main() -> None:
         particles, _, _ = distribute(system, nprocs, "random", seed=1)
 
         fcs = fcs_init(method, machine)            # fcs_init
-        fcs.set_common(system.box, periodic=True)  # fcs_set_common
+        fcs.set_common(box=system.box, periodic=True)  # fcs_set_common
         fcs.tune(particles, accuracy=1e-3)         # fcs_tune
         fcs.run(particles)                         # fcs_run
 

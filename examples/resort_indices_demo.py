@@ -14,12 +14,13 @@ machinery that solves it, through the plan-based resort API:
 4. verify every particle kept its own data,
 5. show the plan cache at work across repeated runs.
 
-Migrating from the deprecated per-dtype calls is mechanical::
+Migrating from the removed v1 per-dtype calls is mechanical
+(docs/migration.md)::
 
-    ids = fcs.resort_ints(ids)          # old: one exchange per array
-    vel = fcs.resort_floats(vel)        # old: ... and another
+    ids = fcs.resort_ints(ids)          # v1 (removed): one exchange per array
+    vel = fcs.resort_floats(vel)        # v1 (removed): ... and another
 
-    vel, ids = fcs.resort((vel, ids))   # new: one fused exchange
+    vel, ids = fcs.resort((vel, ids))   # v2: one fused exchange
 
 Run:  python examples/resort_indices_demo.py
 """
@@ -43,7 +44,7 @@ def main() -> None:
     birthdays = [ids.astype(np.float64) * 0.25 for ids in global_ids]
 
     fcs = fcs_init("p2nfft", machine, cutoff=4.0)
-    fcs.set_common(system.box, periodic=True)
+    fcs.set_common(box=system.box, periodic=True)
     fcs.set_resort(True)  # opt into method B
     fcs.tune(particles, accuracy=1e-3)
 
@@ -82,10 +83,10 @@ def main() -> None:
     )
 
     # the communication bill, per phase (note 'resort_plan': the one-off
-    # schedule-compilation exchange, amortized over all resort calls)
+    # schedule-compilation exchange, amortized over all resort calls);
+    # fcs.trace is the machine trace, read through the v2 accessors
     print("\nmodeled communication phases:")
-    for phase in machine.trace.phases():
-        st = machine.trace.get(phase)
+    for phase, st in fcs.trace.items():
         if st.messages:
             print(f"  {phase:14s} {st.time * 1e6:9.1f} us  {st.messages:6d} msgs  {st.bytes:9d} B")
     fcs.destroy()

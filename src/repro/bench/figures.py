@@ -104,7 +104,7 @@ def phases(preset: str = "default", quiet: bool = False) -> Dict:
             )
             rec = sim.records[-1]
             results[solver][method] = {
-                label: stats.time for label, stats in sorted(rec.phases.items())
+                label: stats.time for label, stats in rec.phases.items_sorted()
             }
     if not quiet:
         all_labels = sorted(

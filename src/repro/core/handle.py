@@ -24,19 +24,19 @@ a reusable :class:`~repro.core.plan.ResortPlan` (cached across calls *and*
 across time steps while the distribution is unchanged), and
 :meth:`FCS.resort` moves any number of mixed-dtype data columns in a single
 fused exchange.  The historical per-dtype entry points
-(:meth:`FCS.resort_floats`, :meth:`FCS.resort_ints`,
-:meth:`FCS.resort_bytes`) remain as deprecated shims over the same engine.
+(``resort_floats``/``resort_ints``/``resort_bytes``) were removed in API
+v2 — see docs/migration.md.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.core.particles import ParticleSet
 from repro.core.plan import ResortPlan, ResortPlanStats
+from repro.obs.spans import machine_span
 from repro.simmpi.machine import Machine
 from repro.solvers.base import RunReport, Solver
 
@@ -141,16 +141,52 @@ class FCS:
         """The underlying solver (for solver-specific setter functions)."""
         return self._solver
 
+    # -- observability accessors (API v2) -----------------------------------------
+
+    @property
+    def trace(self):
+        """The machine's :class:`~repro.simmpi.tracing.Trace` — per-phase
+        virtual time / message / byte aggregates of everything this handle
+        (and anything else on the machine) has charged."""
+        return self.machine.trace
+
+    @property
+    def metrics(self):
+        """A :class:`~repro.obs.metrics.MetricsRegistry` view of this run.
+
+        When an :class:`~repro.obs.spans.ObsRecorder` is attached
+        (``repro.obs.enable_observability``) this is its *live* registry;
+        otherwise a snapshot registry is derived from the machine trace on
+        each access (counters and per-phase comm aggregates only).
+        """
+        from repro.obs.metrics import from_trace
+
+        obs = self.machine.obs
+        if obs is not None:
+            return obs.metrics
+        return from_trace(self.machine.trace)
+
     def set_common(
-        self, box, *, offset=(0.0, 0.0, 0.0), periodic: bool = True
+        self, *, box, offset=(0.0, 0.0, 0.0), periodic: bool = True
     ) -> None:
         """Set particle-system properties (``fcs_set_common``).
 
-        ``offset`` and ``periodic`` are keyword-only (see
-        :meth:`repro.solvers.base.Solver.set_common`).
+        All arguments are keyword-only (API v2 — the historical positional
+        form silently swapped ``box``/``offset``; see docs/migration.md):
+
+        ``box``
+            edge lengths of the (cuboid) system box, a positive 3-vector.
+        ``offset``
+            lower corner of the box (default: the origin).
+        ``periodic``
+            whether the system is fully periodic.
+
+        Arguments are validated by :meth:`repro.solvers.base.Solver.set_common`
+        — a non-finite or non-positive box, or malformed 3-vectors, raise
+        ``ValueError`` immediately rather than corrupting a later ``run``.
         """
         self._check_alive()
-        self._solver.set_common(box, offset=offset, periodic=periodic)
+        self._solver.set_common(box=box, offset=offset, periodic=periodic)
 
     def set_resort(self, flag: bool) -> None:
         """Opt into method B: request the solver-specific particle order and
@@ -183,9 +219,16 @@ class FCS:
         changed.
         """
         self._check_alive()
-        report = self._solver.run(
-            particles, resort=self._resort_requested, max_move=self._max_move
-        )
+        with machine_span(
+            self.machine, "fcs.run", op="solver.run",
+            solver=self.method, resort=self._resort_requested,
+        ):
+            report = self._solver.run(
+                particles, resort=self._resort_requested, max_move=self._max_move
+            )
+        obs = self.machine.obs
+        if obs is not None:
+            obs.metrics.counter("solver.runs", solver=self.method).inc()
         self._last_report = report
         self._max_move = None  # a bound holds for one run only
         return report
@@ -240,6 +283,8 @@ class FCS:
         ):
             plan.stats.cache_hits += 1
             self.machine.trace.bump("resort_plan.cache_hits")
+            if self.machine.obs is not None:
+                self.machine.obs.metrics.counter("resort_plan.cache_hits").inc()
             return plan
         if plan is not None:
             self._retired_plan_stats = self._retired_plan_stats.merged(plan.stats)
@@ -317,61 +362,6 @@ class FCS:
                 )
         out = plan.execute(cols)
         return out[0] if single else out
-
-    # -- deprecated per-dtype entry points -----------------------------------------
-
-    def resort_floats(self, data: List[np.ndarray]) -> List[np.ndarray]:
-        """Deprecated: redistribute per-particle float data
-        (``fcs_resort_floats``).  Use :meth:`resort`, which moves any number
-        of mixed-dtype columns in one fused exchange."""
-        warnings.warn(
-            "FCS.resort_floats is deprecated; use FCS.resort, which fuses "
-            "any number of mixed-dtype columns into one exchange",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._legacy_resort(data, np.float64)
-
-    def resort_ints(self, data: List[np.ndarray]) -> List[np.ndarray]:
-        """Deprecated: redistribute per-particle integer data
-        (``fcs_resort_ints``).  Use :meth:`resort`."""
-        warnings.warn(
-            "FCS.resort_ints is deprecated; use FCS.resort, which fuses "
-            "any number of mixed-dtype columns into one exchange",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._legacy_resort(data, np.int64)
-
-    def resort_bytes(self, data: List[np.ndarray]) -> List[np.ndarray]:
-        """Deprecated: redistribute per-particle raw byte data
-        (``fcs_resort_bytes``).  Use :meth:`resort`."""
-        warnings.warn(
-            "FCS.resort_bytes is deprecated; use FCS.resort, which fuses "
-            "any number of mixed-dtype columns into one exchange",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._legacy_resort(data, np.uint8)
-
-    def _legacy_resort(self, data: List[np.ndarray], dtype) -> List[np.ndarray]:
-        self._check_alive()
-        report = self._require_resort_report()
-        if len(data) != self.machine.nprocs:
-            raise ValueError(
-                f"{len(data)} data arrays for {self.machine.nprocs} ranks"
-            )
-        column = []
-        for r, arr in enumerate(data):
-            arr = np.ascontiguousarray(arr, dtype=dtype)
-            expected = int(report.old_counts[r])
-            if arr.shape[0] != expected:
-                raise ValueError(
-                    f"rank {r}: data has {arr.shape[0]} rows, original particle "
-                    f"count was {expected}"
-                )
-            column.append(arr)
-        return self.resort_plan().execute([column])[0]
 
     def _require_resort_report(self) -> RunReport:
         report = self._last_report

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.resort import inverse_permutation, unpack_resort_index
+from repro.obs.spans import machine_span
 from repro.perf import instrument
 from repro.simmpi.collectives import alltoallv, neighborhood_alltoallv
 from repro.simmpi.machine import Machine
@@ -219,43 +220,46 @@ class ResortPlan:
             ranks_list.append(ranks)
             pos_list.append(positions)
 
-        if instrument.prefer_reference():
-            pos_sends = self._compile_schedules_reference(ranks_list, pos_list)
-        else:
-            pos_sends = self._compile_schedules(ranks_list, pos_list)
+        with machine_span(machine, "resort_plan.compile", op="plan.compile", comm=comm):
+            if instrument.prefer_reference():
+                pos_sends = self._compile_schedules_reference(ranks_list, pos_list)
+            else:
+                pos_sends = self._compile_schedules(ranks_list, pos_list)
 
-        # schedule distribution: the one-off exchange that tells every
-        # destination which incoming row lands where.  This is the only time
-        # index data travels; executions ship pure payload.
-        if comm == "neighborhood":
-            recv = neighborhood_alltoallv(machine, pos_sends, COMPILE_PHASE)
-        else:
-            recv = alltoallv(machine, pos_sends, COMPILE_PHASE)
+            # schedule distribution: the one-off exchange that tells every
+            # destination which incoming row lands where.  This is the only
+            # time index data travels; executions ship pure payload.
+            if comm == "neighborhood":
+                recv = neighborhood_alltoallv(machine, pos_sends, COMPILE_PHASE)
+            else:
+                recv = alltoallv(machine, pos_sends, COMPILE_PHASE)
 
-        #: per-destination scatter permutation: ``out[p] = incoming[perm[p]]``
-        self._scatter_perm: List[np.ndarray] = []
-        for dst in range(P):
-            parts = [payload for _src, payload in recv[dst]]
-            incoming = (
-                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
-            )
-            n = self.new_counts[dst]
-            if incoming.shape[0] != n:
-                raise ValueError(
-                    f"rank {dst}: {incoming.shape[0]} resort targets for "
-                    f"{n} new-layout slots"
+            #: per-destination scatter permutation: ``out[p] = incoming[perm[p]]``
+            self._scatter_perm: List[np.ndarray] = []
+            for dst in range(P):
+                parts = [payload for _src, payload in recv[dst]]
+                incoming = (
+                    np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
                 )
-            self._scatter_perm.append(inverse_permutation(incoming, n, dst))
-        # building the inverse permutations is a local 8-byte scatter per row
-        machine.copy(
-            8.0 * np.asarray(self.new_counts, dtype=np.float64), COMPILE_PHASE
-        )
+                n = self.new_counts[dst]
+                if incoming.shape[0] != n:
+                    raise ValueError(
+                        f"rank {dst}: {incoming.shape[0]} resort targets for "
+                        f"{n} new-layout slots"
+                    )
+                self._scatter_perm.append(inverse_permutation(incoming, n, dst))
+            # building the inverse permutations is a local 8-byte scatter per row
+            machine.copy(
+                8.0 * np.asarray(self.new_counts, dtype=np.float64), COMPILE_PHASE
+            )
 
         self._total_old = int(sum(self.old_counts))
         self._total_new = int(sum(self.new_counts))
 
         self.stats.compiles += 1
         machine.trace.bump("resort_plan.compiles")
+        if machine.obs is not None:
+            machine.obs.metrics.counter("resort_plan.compiles").inc()
         if machine.auditor is not None and hasattr(machine.auditor, "observe_plan_compile"):
             machine.auditor.observe_plan_compile(COMPILE_PHASE)
 
@@ -445,8 +449,23 @@ class ResortPlan:
                 )
         specs = [_column_spec(col, c) for c, col in enumerate(cols)]
         record_bytes = sum(s.row_bytes for s in specs)
-        if instrument.prefer_reference():
-            return self._execute_reference(cols, specs, record_bytes, phase)
+        with machine_span(
+            machine, "resort_plan.execute", op="plan.execute",
+            columns=len(cols), comm=self.comm,
+        ):
+            if instrument.prefer_reference():
+                return self._execute_reference(cols, specs, record_bytes, phase)
+            return self._execute_vectorized(cols, specs, record_bytes, phase)
+
+    def _execute_vectorized(
+        self,
+        cols: List[List[np.ndarray]],
+        specs: List[PlanColumnSpec],
+        record_bytes: int,
+        phase: str,
+    ) -> List[List[np.ndarray]]:
+        machine = self.machine
+        P = machine.nprocs
 
         # row-count validation in the reference's (rank, column) order
         for r in range(P):
@@ -532,12 +551,7 @@ class ResortPlan:
         machine.copy(unpack_bytes, phase)
 
         moved = self._moved_rows * record_bytes
-        self.stats.executions += 1
-        self.stats.fused_columns += len(cols)
-        self.stats.bytes_moved += moved
-        machine.trace.bump("resort_plan.executions")
-        machine.trace.bump("resort_plan.fused_columns", len(cols))
-        machine.trace.bump("resort_plan.bytes_moved", moved)
+        self._count_execution(len(cols), moved)
         auditor = machine.auditor
         if auditor is not None and hasattr(auditor, "observe_plan_execution"):
             auditor.observe_plan_execution(
@@ -622,12 +636,7 @@ class ResortPlan:
             for dst, s, e in self._segments[r]
             if dst != r
         )
-        self.stats.executions += 1
-        self.stats.fused_columns += len(cols)
-        self.stats.bytes_moved += moved
-        machine.trace.bump("resort_plan.executions")
-        machine.trace.bump("resort_plan.fused_columns", len(cols))
-        machine.trace.bump("resort_plan.bytes_moved", moved)
+        self._count_execution(len(cols), moved)
         auditor = machine.auditor
         if auditor is not None and hasattr(auditor, "observe_plan_execution"):
             messages = sum(
@@ -635,6 +644,23 @@ class ResortPlan:
             )
             auditor.observe_plan_execution(phase, messages, moved, len(cols))
         return out
+
+    def _count_execution(self, ncols: int, moved: int) -> None:
+        """Report one fused execution into plan stats, trace counters and
+        (when attached) the observability metrics registry."""
+        machine = self.machine
+        self.stats.executions += 1
+        self.stats.fused_columns += ncols
+        self.stats.bytes_moved += moved
+        machine.trace.bump("resort_plan.executions")
+        machine.trace.bump("resort_plan.fused_columns", ncols)
+        machine.trace.bump("resort_plan.bytes_moved", moved)
+        obs = machine.obs
+        if obs is not None:
+            m = obs.metrics
+            m.counter("resort_plan.executions").inc()
+            m.counter("resort_plan.fused_columns").inc(ncols)
+            m.counter("resort_plan.bytes_moved").inc(moved)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

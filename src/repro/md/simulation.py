@@ -32,6 +32,7 @@ from repro.md.distributions import distribute
 from repro.md.integrator import accelerations, position_update, velocity_update
 from repro.md.observables import kinetic_energy, potential_energy
 from repro.md.systems import ParticleSystem
+from repro.obs.spans import machine_span
 from repro.simmpi.machine import Machine
 from repro.simmpi.tracing import PhaseStats
 
@@ -96,6 +97,20 @@ class SimulationConfig:
     balance_phases: tuple = ("near", "far")
 
     def __post_init__(self) -> None:
+        """Reject unknown or conflicting knobs up front.
+
+        A mistyped knob silently running the default scenario is the worst
+        failure mode of a benchmark harness — every constraint below raises
+        immediately with the accepted values spelled out.  Note what is
+        deliberately *not* checked here: the solver name (``fcs_init``
+        already raises with the live registry contents, which may grow via
+        ``register_solver`` after this config is built) and
+        ``load_balance="dynamic"`` with non-rebalanceable solvers or with
+        method A (legal — the mode is recorded and simply never fires, a
+        combination the conformance and DST suites exercise on purpose).
+        """
+        from repro.md.distributions import DISTRIBUTIONS
+
         if self.method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}, got {self.method!r}")
         if self.dynamics not in ("force", "brownian"):
@@ -106,6 +121,47 @@ class SimulationConfig:
             raise ValueError(
                 f"load_balance must be one of {LOAD_BALANCE_MODES}, "
                 f"got {self.load_balance!r}"
+            )
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"distribution must be one of {DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if not isinstance(self.solver_kwargs, dict):
+            raise ValueError(
+                "solver_kwargs must be a dict of solver constructor arguments, "
+                f"got {type(self.solver_kwargs).__name__}"
+            )
+        for knob, value, low in (
+            ("dt", self.dt, 0.0),
+            ("accuracy", self.accuracy, 0.0),
+            ("mass", self.mass, 0.0),
+        ):
+            if not value > low:
+                raise ValueError(f"{knob} must be > {low}, got {value!r}")
+        if self.brownian_step < 0:
+            raise ValueError(
+                f"brownian_step must be >= 0, got {self.brownian_step!r}"
+            )
+        if self.adapt_every < 1:
+            raise ValueError(f"adapt_every must be >= 1, got {self.adapt_every!r}")
+        if self.capacity_factor < 1.0:
+            raise ValueError(
+                f"capacity_factor must be >= 1 (arrays cannot shrink below "
+                f"their particle count), got {self.capacity_factor!r}"
+            )
+        if not self.balance_trigger >= self.balance_rearm >= 1.0:
+            raise ValueError(
+                "conflicting balance knobs: need balance_trigger >= "
+                f"balance_rearm >= 1 (hysteresis), got trigger="
+                f"{self.balance_trigger!r}, rearm={self.balance_rearm!r}"
+            )
+        if self.load_balance != "off" and not tuple(self.balance_phases):
+            raise ValueError(
+                f"conflicting knobs: load_balance={self.load_balance!r} needs "
+                "at least one entry in balance_phases (the monitor would "
+                "observe zero work and never fire); pass load_balance='off' "
+                "or keep the default ('near', 'far')"
             )
 
 
@@ -132,7 +188,8 @@ class StepRecord:
     lambda_factor: Optional[float] = None
 
     def phase_time(self, *labels: str) -> float:
-        """Summed virtual time of the given phase labels in this step."""
+        """Summed virtual time of the given phase labels in this step
+        (missing labels count as zero, like :meth:`PhaseTable.time`)."""
         return sum(self.phases[l].time for l in labels if l in self.phases)
 
 
@@ -165,7 +222,7 @@ class Simulation:
         self.acc: List[np.ndarray] = [np.zeros_like(p) for p in self.particles.pos]
 
         self.fcs: FCS = fcs_init(cfg.solver, machine, **cfg.solver_kwargs)
-        self.fcs.set_common(system.box, offset=system.offset, periodic=True)
+        self.fcs.set_common(box=system.box, offset=system.offset, periodic=True)
         #: the redistribution method in effect this step ("A" or "B"/"B+move");
         #: fixed unless method="adaptive"
         self.active_method = "B" if cfg.method == "adaptive" else cfg.method
@@ -209,12 +266,18 @@ class Simulation:
         snap = self.machine.trace.snapshot()
         wsnap = self.machine.trace.rank_work_snapshot()
         t0 = self.machine.elapsed()
-        self.fcs.tune(self.particles, cfg.accuracy)
-        report = self.fcs.run(self.particles)
-        if report.changed:
-            self._resort_application_data(report)
-        lam = self._observe_balance(wsnap, step=0)
-        self.acc = accelerations(self.particles.q, self.particles.field, cfg.mass)
+        with machine_span(
+            self.machine, "sim.initialize", op="sim.initialize",
+            solver=cfg.solver, method=self.active_method,
+        ):
+            self.fcs.tune(self.particles, cfg.accuracy)
+            report = self.fcs.run(self.particles)
+            if report.changed:
+                self._resort_application_data(report)
+            lam = self._observe_balance(wsnap, step=0)
+            self.acc = accelerations(
+                self.particles.q, self.particles.field, cfg.mass
+            )
         record = StepRecord(
             step=0,
             phases=self.machine.trace.delta_since(snap),
@@ -244,40 +307,50 @@ class Simulation:
         if cfg.method == "adaptive":
             self._adapt()
 
-        new_pos, max_move = position_update(
-            self.machine,
-            self.particles.pos,
-            self.vel,
-            self.acc,
-            cfg.dt,
-            box=self.system.box,
-            offset=self.system.offset,
-        )
-        self.particles.pos = new_pos
-        self._last_max_move = max_move
-
-        if self.active_method == "B+move":
-            self.fcs.set_max_particle_move(max_move)
-        report = self.fcs.run(self.particles)
-        if report.changed:
-            self._resort_application_data(report)
-        lam = self._observe_balance(wsnap, step=self.step_index + 1)
-
-        if cfg.dynamics == "brownian":
-            # persistent random-walk surrogate: rotate directions slightly,
-            # keep the per-step displacement fixed (acc stays zero)
-            speed = cfg.brownian_step / cfg.dt
-            self.vel = [
-                self._rotate_directions(v, speed) for v in self.vel
-            ]
-            acc_new = [np.zeros_like(a) for a in self.acc]
-            self.machine.compute(
-                np.asarray([1e-8 * v.shape[0] for v in self.vel]), phase="integrate"
+        with machine_span(
+            self.machine, "sim.step", op="sim.step",
+            step=self.step_index + 1, method=self.active_method,
+        ):
+            new_pos, max_move = position_update(
+                self.machine,
+                self.particles.pos,
+                self.vel,
+                self.acc,
+                cfg.dt,
+                box=self.system.box,
+                offset=self.system.offset,
             )
-        else:
-            acc_new = accelerations(self.particles.q, self.particles.field, cfg.mass)
-            self.vel = velocity_update(self.machine, self.vel, self.acc, acc_new, cfg.dt)
-        self.acc = acc_new
+            self.particles.pos = new_pos
+            self._last_max_move = max_move
+
+            if self.active_method == "B+move":
+                self.fcs.set_max_particle_move(max_move)
+            report = self.fcs.run(self.particles)
+            if report.changed:
+                self._resort_application_data(report)
+            lam = self._observe_balance(wsnap, step=self.step_index + 1)
+
+            if cfg.dynamics == "brownian":
+                # persistent random-walk surrogate: rotate directions
+                # slightly, keep the per-step displacement fixed (acc stays
+                # zero)
+                speed = cfg.brownian_step / cfg.dt
+                self.vel = [
+                    self._rotate_directions(v, speed) for v in self.vel
+                ]
+                acc_new = [np.zeros_like(a) for a in self.acc]
+                self.machine.compute(
+                    np.asarray([1e-8 * v.shape[0] for v in self.vel]),
+                    phase="integrate",
+                )
+            else:
+                acc_new = accelerations(
+                    self.particles.q, self.particles.field, cfg.mass
+                )
+                self.vel = velocity_update(
+                    self.machine, self.vel, self.acc, acc_new, cfg.dt
+                )
+            self.acc = acc_new
 
         self.step_index += 1
         record = StepRecord(
@@ -399,10 +472,17 @@ class Simulation:
             if contribution is not None:
                 work += contribution
         fired = self.balance_monitor.observe(work, step)
+        lam = self.balance_monitor.history[-1]
+        obs = self.machine.obs
+        if obs is not None:
+            obs.metrics.gauge("balance.lambda").set(lam)
+            if fired:
+                obs.metrics.counter("balance.triggers").inc()
+                obs.mark("balance.trigger", op="balance", step=step, lam=lam)
         if fired:
             self.fcs.solver.request_rebalance()
             self._switch_transient = True
-        return self.balance_monitor.history[-1]
+        return lam
 
     # -- brownian surrogate dynamics ---------------------------------------------------
 

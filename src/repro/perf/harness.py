@@ -383,7 +383,7 @@ def run_phase_profile(quick: bool = False, verbose: bool = True) -> Dict:
             sim.run(steps)
         kernels = {k: dataclasses.asdict(v) for k, v in registry.items()}
     phases = {}
-    for name, st in sorted(machine.trace.snapshot().items()):
+    for name, st in machine.trace.snapshot().items_sorted():
         phases[name] = {
             "modeled_s": st.time,
             "wall_ns": st.wall_ns,

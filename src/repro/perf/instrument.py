@@ -49,6 +49,7 @@ __all__ = [
     "KernelStats",
     "collect",
     "collecting",
+    "export_metrics",
     "kernel_timer",
     "prefer_reference",
     "record",
@@ -222,3 +223,15 @@ def wall_phases(*, trace_alloc: bool = False) -> Iterator[None]:
 def wall_anchor() -> tuple:
     """Current ``(perf_counter_ns, traced_bytes)`` charge-point anchor."""
     return time.perf_counter_ns(), _traced_bytes()
+
+
+def export_metrics(registry=None):
+    """Fold the current kernel snapshot into a
+    :class:`~repro.obs.metrics.MetricsRegistry` under the ``kernel.*``
+    names (creating a fresh registry when none is given)."""
+    from repro.obs.metrics import MetricsRegistry, merge_kernel_stats
+
+    if registry is None:
+        registry = MetricsRegistry()
+    merge_kernel_stats(registry, snapshot())
+    return registry

@@ -121,6 +121,7 @@ def _charge_alltoall(
         phase,
         messages=n_messages,
         nbytes=int(send_bytes.sum()),
+        op="alltoallv",
     )
 
 
@@ -213,7 +214,7 @@ def allgatherv(
         machine.auditor.observe_collective(
             phase, max(0, P - 1) * 1, int(total_bytes) * max(0, P - 1)
         )
-    machine.advance(t, phase, messages=max(0, P - 1) * 1, nbytes=int(total_bytes) * max(0, P - 1))
+    machine.advance(t, phase, messages=max(0, P - 1) * 1, nbytes=int(total_bytes) * max(0, P - 1), op="allgatherv")
     gathered = np.concatenate(arrays) if arrays else np.empty(0)
     return [gathered.copy() for _ in range(P)] if P > 1 else [gathered]
 
@@ -233,7 +234,7 @@ def allgather_scalars(
     t *= machine.comm_factor()
     if machine.auditor is not None:
         machine.auditor.observe_collective(phase, 2 * max(0, P - 1), 8 * P * max(0, P - 1))
-    machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=8 * P * max(0, P - 1))
+    machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=8 * P * max(0, P - 1), op="allgather")
     return vals.copy()
 
 
@@ -268,7 +269,7 @@ def allreduce(
         machine.auditor.observe_collective(
             phase, 2 * max(0, P - 1), int(item_bytes) * 2 * max(0, P - 1)
         )
-    machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=int(item_bytes) * 2 * max(0, P - 1))
+    machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=int(item_bytes) * 2 * max(0, P - 1), op="allreduce")
     if result.ndim == 0:
         return float(result)
     return result
@@ -289,7 +290,7 @@ def bcast(
     t *= machine.comm_factor()
     if machine.auditor is not None:
         machine.auditor.observe_collective(phase, max(0, P - 1), arr.nbytes * max(0, P - 1))
-    machine.advance(t, phase, messages=max(0, P - 1), nbytes=arr.nbytes * max(0, P - 1))
+    machine.advance(t, phase, messages=max(0, P - 1), nbytes=arr.nbytes * max(0, P - 1), op="bcast")
     return [np.array(arr, copy=True) if arr.ndim else value for _ in range(P)]
 
 
@@ -321,7 +322,7 @@ def gatherv(
     per_rank[root] += float(model.copy_time(total_bytes))
     if machine.auditor is not None:
         machine.auditor.observe_collective(phase, max(0, P - 1), int(total_bytes))
-    machine.advance(per_rank, phase, messages=max(0, P - 1), nbytes=int(total_bytes))
+    machine.advance(per_rank, phase, messages=max(0, P - 1), nbytes=int(total_bytes), op="gatherv")
     result = [np.empty((0,) + arrays[0].shape[1:], dtype=arrays[0].dtype) for _ in range(P)]
     result[root] = np.concatenate(arrays) if arrays else np.empty(0)
     return result
@@ -361,5 +362,5 @@ def scatterv(
         per_rank[i] = max(per_rank[i], per_rank[root])
     if machine.auditor is not None:
         machine.auditor.observe_collective(phase, max(0, P - 1), int(total_bytes))
-    machine.advance(per_rank, phase, messages=max(0, P - 1), nbytes=int(total_bytes))
+    machine.advance(per_rank, phase, messages=max(0, P - 1), nbytes=int(total_bytes), op="scatterv")
     return [a.copy() for a in arrays]

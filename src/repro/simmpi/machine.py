@@ -70,6 +70,11 @@ class Machine:
         #: optional :class:`~repro.verify.audit.CommAuditor` observing every
         #: communication primitive (attach via ``repro.verify.enable_auditing``)
         self.auditor = None
+        #: optional :class:`~repro.obs.spans.ObsRecorder` receiving a span
+        #: for every charge (attach via ``repro.obs.enable_observability``);
+        #: ``None`` keeps every hot path byte-identical to an uninstrumented
+        #: build
+        self.obs = None
         #: optional :class:`~repro.simmpi.chaos.Perturbation` consulted when
         #: charging costs (never when moving data) — see :meth:`perturb`
         self.perturbation = None
@@ -143,6 +148,8 @@ class Machine:
         else:
             self.clocks[:] = 0.0
         self.trace.clear()
+        if self.obs is not None:
+            self.obs.clear()
         if self.perturbation is not None:
             self.trace.note("perturbation", self.perturbation.describe())
 
@@ -170,11 +177,16 @@ class Machine:
         *,
         messages: int = 0,
         nbytes: int = 0,
+        op: Optional[str] = None,
     ) -> None:
         """Advance rank clocks by ``per_rank_seconds`` and record the phase.
 
         The trace time is the *critical-path* contribution: the increase of
         the maximum clock caused by this advance.
+
+        ``op`` names the charging primitive ("compute", "alltoallv", ...)
+        for the span stream when an :class:`~repro.obs.spans.ObsRecorder`
+        is attached; it never affects the trace.
 
         While :func:`repro.perf.instrument.wall_phases` is active, the host
         wall nanoseconds since this machine's previous charge point are
@@ -182,10 +194,27 @@ class Machine:
         owns the host time leading up to it); the modeled fields are
         byte-identical with and without the instrumentation.
         """
+        obs = self.obs
+        rank_before = (
+            self.clocks.copy() if (obs is not None and obs.per_rank) else None
+        )
         before = self.clocks.max()
         self.clocks += per_rank_seconds
         after = self.clocks.max()
-        self.trace.record(phase, time=float(after - before), messages=messages, nbytes=nbytes)
+        t = float(after - before)
+        self.trace.record(phase, time=t, messages=messages, nbytes=nbytes)
+        if obs is not None:
+            obs.on_charge(
+                phase,
+                op if op is not None else "advance",
+                t,
+                float(before),
+                float(after),
+                messages,
+                nbytes,
+                rank_before,
+                self.clocks,
+            )
         if instrument.wall_phases_enabled():
             now = instrument.wall_anchor()
             anchor = self._wall_anchor
@@ -217,14 +246,14 @@ class Machine:
         t = self.model.compute_time(nominal_seconds)
         if self._compute_factors is not None:
             t = t * self._compute_factors
-        self.advance(t, phase)
+        self.advance(t, phase, op="compute")
 
     def copy(self, per_rank_bytes: np.ndarray | float, phase: Optional[str] = None) -> None:
         """Charge local pack/unpack (memcpy) work."""
         t = self.model.copy_time(per_rank_bytes)
         if self._compute_factors is not None:
             t = t * self._compute_factors
-        self.advance(t, phase)
+        self.advance(t, phase, op="copy")
 
     def barrier(self, phase: Optional[str] = None) -> None:
         """Tree barrier across all ranks."""
@@ -234,7 +263,7 @@ class Machine:
         messages = 2 * max(0, self.nprocs - 1)
         if self.auditor is not None:
             self.auditor.observe_collective(phase, messages, 0)
-        self.advance(t, phase, messages=messages, nbytes=0)
+        self.advance(t, phase, messages=messages, nbytes=0, op="barrier")
 
     # -- diagnostics ------------------------------------------------------------
 

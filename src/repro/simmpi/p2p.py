@@ -39,6 +39,8 @@ def sendrecv(
     if src == dst:
         machine.copy(nbytes, phase)
         return payload
+    obs = machine.obs
+    clocks_before = machine.clocks.copy() if obs is not None else None
     model = machine.model
     hops = int(machine.topology.hops(src, dst))
     before = machine.clocks.max()
@@ -53,9 +55,13 @@ def sendrecv(
     machine.clocks[dst] = max(machine.clocks[dst] + model.overhead, arrival) + float(
         model.copy_time(nbytes)
     )
-    machine.trace.record(
-        phase, time=float(machine.clocks.max() - before), messages=1, nbytes=nbytes
-    )
+    t = float(machine.clocks.max() - before)
+    machine.trace.record(phase, time=t, messages=1, nbytes=nbytes)
+    if obs is not None:
+        obs.on_charge(
+            phase, "sendrecv", t, float(before), float(machine.clocks.max()),
+            1, nbytes, clocks_before, machine.clocks,
+        )
     return payload
 
 
@@ -73,6 +79,8 @@ def send_round(
     model = machine.model
     if machine.auditor is not None:
         machine.auditor.observe_send_round(transfers, phase)
+    obs = machine.obs
+    clocks_before = machine.clocks.copy() if obs is not None else None
     recv: List[List[Tuple[int, Payload]]] = [[] for _ in range(machine.nprocs)]
     before = machine.clocks.max()
     n_messages = 0
@@ -106,12 +114,13 @@ def send_round(
         recv[dst].append((src, payload))
     for lst in recv:
         lst.sort(key=lambda item: item[0])
-    machine.trace.record(
-        phase,
-        time=float(machine.clocks.max() - before),
-        messages=n_messages,
-        nbytes=total_bytes,
-    )
+    t = float(machine.clocks.max() - before)
+    machine.trace.record(phase, time=t, messages=n_messages, nbytes=total_bytes)
+    if obs is not None:
+        obs.on_charge(
+            phase, "send_round", t, float(before), float(machine.clocks.max()),
+            n_messages, total_bytes, clocks_before, machine.clocks,
+        )
     return recv
 
 
@@ -132,6 +141,8 @@ def exchange_pairs(
     model = machine.model
     if machine.auditor is not None:
         machine.auditor.observe_exchange_pairs(exchanges, phase)
+    obs = machine.obs
+    clocks_before = machine.clocks.copy() if obs is not None else None
     seen: set = set()
     before = machine.clocks.max()
     out: Dict[Tuple[int, int], Tuple[Payload, Payload]] = {}
@@ -159,10 +170,11 @@ def exchange_pairs(
         out[(a, b)] = (pb, pa)
         n_messages += 2
         total_bytes += bytes_ab + bytes_ba
-    machine.trace.record(
-        phase,
-        time=float(machine.clocks.max() - before),
-        messages=n_messages,
-        nbytes=total_bytes,
-    )
+    t = float(machine.clocks.max() - before)
+    machine.trace.record(phase, time=t, messages=n_messages, nbytes=total_bytes)
+    if obs is not None:
+        obs.on_charge(
+            phase, "exchange_pairs", t, float(before), float(machine.clocks.max()),
+            n_messages, total_bytes, clocks_before, machine.clocks,
+        )
     return out

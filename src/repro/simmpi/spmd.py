@@ -157,8 +157,16 @@ class SPMDContext:
                     * machine.comm_factor(self.rank, dst)
                     - model.overhead
                 )
+                obs = machine.obs
+                rank_before = float(machine.clocks[self.rank])
                 machine.clocks[self.rank] = send_done
                 machine.trace.record(phase, time=0.0, messages=1, nbytes=nbytes)
+                if obs is not None:
+                    obs.on_rank_charge(
+                        phase, "spmd.send", 0.0, self.rank,
+                        rank_before, float(send_done),
+                        float(machine.clocks.max()), messages=1, nbytes=nbytes,
+                    )
             rt.mailboxes[dst].append((self.rank, tag, payload, arrival))
             rt.lock.notify_all()
 
@@ -195,13 +203,20 @@ class SPMDContext:
                     else:
                         pick = candidates[0]
                     _s, _t, payload, arrival = box.pop(pick)
+                    obs = machine.obs
+                    rank_before = float(machine.clocks[self.rank])
                     before = machine.clocks.max()
                     machine.clocks[self.rank] = max(
                         machine.clocks[self.rank] + machine.model.overhead, arrival
                     )
-                    machine.trace.record(
-                        phase, time=float(machine.clocks.max() - before)
-                    )
+                    t = float(machine.clocks.max() - before)
+                    machine.trace.record(phase, time=t)
+                    if obs is not None:
+                        obs.on_rank_charge(
+                            phase, "spmd.recv", t, self.rank,
+                            rank_before, float(machine.clocks[self.rank]),
+                            float(machine.clocks.max()),
+                        )
                     rt.lock.notify_all()
                     return payload
                 rt.blocked[self.rank] = (src, tag)
@@ -236,7 +251,10 @@ class SPMDContext:
                 cost = machine.model.tree_collective_time(
                     machine.nprocs, nbytes, machine.topology.diameter()
                 ) * machine.comm_factor()
-                machine.advance(cost, phase, messages=2 * (machine.nprocs - 1))
+                machine.advance(
+                    cost, phase, messages=2 * (machine.nprocs - 1),
+                    op="spmd.collective",
+                )
                 rt._coll_result = combine(dict(rt._coll_values))
                 rt._coll_values.clear()
                 rt._coll_count = 0

@@ -26,11 +26,11 @@ used throughout the repo are:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["PhaseStats", "PhaseTimer", "Trace"]
+__all__ = ["PhaseStats", "PhaseTable", "PhaseTimer", "Trace"]
 
 
 @dataclasses.dataclass
@@ -85,6 +85,40 @@ class PhaseStats:
         )
 
 
+class PhaseTable(Dict[str, PhaseStats]):
+    """A ``{label: PhaseStats}`` mapping with the :class:`Trace` read API.
+
+    Returned by :meth:`Trace.snapshot` and :meth:`Trace.delta_since` so
+    snapshots and deltas can be queried exactly like the live trace
+    (``table.phase("sort").time``, ``table.time("sort", "restore")``)
+    instead of poking at dict internals.  Still a plain ``dict`` underneath.
+    """
+
+    def phase(self, label: str) -> PhaseStats:
+        """Stats for ``label`` — an independent copy, zeros if absent."""
+        stats = self.get(label)
+        return PhaseStats() if stats is None else dataclasses.replace(stats)
+
+    def labels(self) -> List[str]:
+        """Recorded phase labels, sorted."""
+        return sorted(self)
+
+    def items_sorted(self) -> List[Tuple[str, PhaseStats]]:
+        """``(label, stats)`` pairs in deterministic (sorted-label) order."""
+        return sorted(self.items())
+
+    def time(self, *labels: str) -> float:
+        """Summed virtual seconds of ``labels`` (absent labels count 0)."""
+        return sum(self.phase(label).time for label in labels)
+
+    def totals(self) -> PhaseStats:
+        """All phases merged into one :class:`PhaseStats`."""
+        total = PhaseStats()
+        for _label, stats in sorted(self.items()):
+            total = total.merged(stats)
+        return total
+
+
 class Trace:
     """Mutable per-phase statistics store attached to a :class:`Machine`.
 
@@ -137,8 +171,39 @@ class Trace:
         stats.alloc_bytes += int(alloc_bytes)
 
     def get(self, phase: str) -> PhaseStats:
-        """Return the stats for ``phase`` (zeros if never recorded)."""
+        """Return the stats for ``phase`` (zeros if never recorded).
+
+        .. warning:: returns the *live* mutable stats object when the phase
+           exists — prefer :meth:`phase`, which always returns a copy.
+        """
         return self._phases.get(phase, PhaseStats())
+
+    # -- v2 read API -------------------------------------------------------------
+
+    def phase(self, label: str) -> PhaseStats:
+        """Stats for ``label`` — an independent copy, zeros if absent.
+
+        The safe accessor: mutating the returned object never corrupts the
+        trace, and unrecorded labels read as all-zero instead of raising.
+        """
+        stats = self._phases.get(label)
+        return PhaseStats() if stats is None else dataclasses.replace(stats)
+
+    def labels(self) -> List[str]:
+        """Recorded phase labels in deterministic (sorted) order."""
+        return sorted(self._phases)
+
+    def items(self) -> List[Tuple[str, PhaseStats]]:
+        """``(label, stats-copy)`` pairs in deterministic label order."""
+        return [(label, dataclasses.replace(self._phases[label]))
+                for label in sorted(self._phases)]
+
+    def totals(self) -> PhaseStats:
+        """All phases merged into one :class:`PhaseStats`."""
+        total = PhaseStats()
+        for _label, stats in sorted(self._phases.items()):
+            total = total.merged(stats)
+        return total
 
     # -- per-rank work -----------------------------------------------------------
 
@@ -218,13 +283,15 @@ class Trace:
     def total_bytes(self) -> int:
         return sum(s.bytes for s in self._phases.values())
 
-    def snapshot(self) -> Dict[str, PhaseStats]:
+    def snapshot(self) -> PhaseTable:
         """Deep copy of the current per-phase stats (for delta computation)."""
-        return {k: dataclasses.replace(v) for k, v in self._phases.items()}
+        return PhaseTable(
+            (k, dataclasses.replace(v)) for k, v in self._phases.items()
+        )
 
-    def delta_since(self, snapshot: Dict[str, PhaseStats]) -> Dict[str, PhaseStats]:
+    def delta_since(self, snapshot: Dict[str, PhaseStats]) -> PhaseTable:
         """Per-phase difference between now and an earlier :meth:`snapshot`."""
-        out: Dict[str, PhaseStats] = {}
+        out = PhaseTable()
         for label, stats in self._phases.items():
             before = snapshot.get(label, PhaseStats())
             d = PhaseStats(

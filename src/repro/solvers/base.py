@@ -98,8 +98,8 @@ class Solver:
 
     def set_common(
         self,
-        box: Sequence[float],
         *,
+        box: Sequence[float],
         offset: Sequence[float] = (0.0, 0.0, 0.0),
         periodic: bool = True,
     ) -> None:
@@ -107,15 +107,20 @@ class Solver:
 
         ``box`` holds the edge lengths of the axis-aligned system box (the
         general interface takes three base vectors; only orthorhombic boxes
-        are supported here).  ``offset`` and ``periodic`` are keyword-only:
-        a bare positional 3-vector after ``box`` cannot be told apart from a
-        box base-vector matrix at the call site, and a positional boolean is
-        meaningless to a reader.
+        are supported here).  All arguments are keyword-only (API v2): a
+        bare positional 3-vector after ``box`` cannot be told apart from a
+        box base-vector matrix at the call site, and a positional boolean
+        is meaningless to a reader — so the whole call is spelled out.
         """
         self.box = np.asarray(box, dtype=np.float64)
         self.offset = np.asarray(offset, dtype=np.float64)
         if self.box.shape != (3,) or self.offset.shape != (3,):
             raise ValueError("box and offset must be 3-vectors")
+        if not np.all(np.isfinite(self.box)) or not np.all(np.isfinite(self.offset)):
+            raise ValueError(
+                f"box and offset must be finite, got box={self.box}, "
+                f"offset={self.offset}"
+            )
         if np.any(self.box <= 0):
             raise ValueError(f"box edges must be positive, got {self.box}")
         self.periodic = bool(periodic)

@@ -72,10 +72,10 @@ class EwaldSolver(Solver):
         self._kvecs: Optional[np.ndarray] = None
         self._green: Optional[np.ndarray] = None
 
-    def set_common(self, box, *, offset=(0.0, 0.0, 0.0), periodic: bool = True) -> None:
+    def set_common(self, *, box, offset=(0.0, 0.0, 0.0), periodic: bool = True) -> None:
         if not periodic:
             raise ValueError("the Ewald solver supports periodic systems only")
-        super().set_common(box, offset=offset, periodic=periodic)
+        super().set_common(box=box, offset=offset, periodic=periodic)
 
     # -- tuning ------------------------------------------------------------------
 

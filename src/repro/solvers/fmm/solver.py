@@ -430,6 +430,9 @@ class FMMSolver(Solver):
             blocks, strategy = self._sort(blocks, max_move, rebalance=True)
             blocks = [b.drop("weight") for b in blocks]
             machine.trace.bump("balance.rebalances")
+            if machine.obs is not None:
+                machine.obs.metrics.counter("balance.rebalances").inc()
+                machine.obs.mark("balance.rebalance", op="balance")
         else:
             blocks, strategy = self._sort(blocks, max_move)
         new_counts = np.asarray([b.n for b in blocks], dtype=np.int64)

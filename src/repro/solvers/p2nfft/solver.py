@@ -166,10 +166,10 @@ class P2NFFTSolver(Solver):
         self.near: Optional[LinkedCellNearField] = None
         self.grid: Optional[CartGrid] = None
 
-    def set_common(self, box, *, offset=(0.0, 0.0, 0.0), periodic: bool = True) -> None:
+    def set_common(self, *, box, offset=(0.0, 0.0, 0.0), periodic: bool = True) -> None:
         if not periodic:
             raise ValueError("the P2NFFT solver supports periodic systems only")
-        super().set_common(box, offset=offset, periodic=periodic)
+        super().set_common(box=box, offset=offset, periodic=periodic)
 
     # -- solver-specific setter functions (fcs_p2nfft_set_*) ----------------------
 

@@ -137,6 +137,15 @@ def _dst_parser() -> argparse.ArgumentParser:
             "chaos-tests the weighted repartition path)"
         ),
     )
+    parser.add_argument(
+        "--obs-export-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write one chaos-seed-tagged NDJSON span snapshot (repro.obs) "
+            "per trajectory into DIR"
+        ),
+    )
     return parser
 
 
@@ -162,6 +171,7 @@ def main_dst(argv: List[str]) -> int:
         seed_list=args.seed_list,
         system_seed=args.system_seed,
         distributions=distributions,
+        obs_export_dir=args.obs_export_dir,
         progress=print,
     )
     print(report.summary())

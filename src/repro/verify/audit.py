@@ -39,6 +39,7 @@ __all__ = [
     "CommAuditError",
     "CommAuditor",
     "enable_auditing",
+    "export_metrics",
     "check_count_symmetry",
     "verify_exchange_schedule",
 ]
@@ -411,3 +412,30 @@ def enable_auditing(
     auditor.trace_baseline = machine.trace.snapshot()
     machine.auditor = auditor
     return auditor
+
+
+def export_metrics(auditor: CommAuditor, registry=None):
+    """Fold the auditor's independently recomputed ledgers into a
+    :class:`~repro.obs.metrics.MetricsRegistry` under ``audit.*`` names.
+
+    The ``audit.messages{phase}`` / ``audit.bytes{phase}`` counters are the
+    transport-layer cross-check of the span-fed ``comm.*`` series: both are
+    derived from the same exchanges through different accounting paths, so a
+    disagreement localizes a bookkeeping bug to one of them.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    if registry is None:
+        registry = MetricsRegistry()
+    for phase in sorted(auditor.ledger):
+        led = auditor.ledger[phase]
+        registry.counter("audit.messages", phase=phase).inc(led.messages)
+        registry.counter("audit.bytes", phase=phase).inc(led.bytes)
+    for phase in sorted(auditor.plan_ledger):
+        led = auditor.plan_ledger[phase]
+        registry.counter("audit.plan_messages", phase=phase).inc(led.messages)
+        registry.counter("audit.plan_bytes", phase=phase).inc(led.bytes)
+    registry.counter("audit.alltoallv_calls").inc(auditor.n_alltoall_calls)
+    registry.counter("audit.p2p_calls").inc(auditor.n_p2p_calls)
+    registry.counter("audit.violations").inc(len(auditor.violations))
+    return registry

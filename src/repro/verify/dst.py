@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -184,6 +185,8 @@ def _run_cell(
     reference: Optional[_Reference],
     solver_kwargs: Optional[dict] = None,
     distribution: str = "homogeneous",
+    obs_export_path: Optional[str] = None,
+    obs_meta: Optional[Dict[str, object]] = None,
 ) -> _Reference:
     """Run one trajectory; check against ``reference`` when given.
 
@@ -197,12 +200,21 @@ def _run_cell(
     on dynamic load balancing with an aggressive trigger, so the weighted
     repartition runs inside the perturbed schedule — the monitor reads
     only nominal work, hence the fingerprints must not move.
+
+    ``obs_export_path`` attaches a span recorder (:mod:`repro.obs`) and, on
+    success, writes the perturbation-tagged NDJSON snapshot there.  The
+    recorder observes clocks out-of-band, so fingerprints are unaffected.
     """
     if distribution not in DST_DISTRIBUTIONS:
         raise ValueError(
             f"unknown distribution {distribution!r}; pick from {DST_DISTRIBUTIONS}"
         )
     machine = Machine(nprocs)
+    recorder = None
+    if obs_export_path is not None:
+        from repro.obs import enable_observability
+
+        recorder = enable_observability(machine)
     balance_kwargs: Dict = {}
     if distribution == "clustered":
         system = clustered_system("two-cluster", n_particles, seed=system_seed)
@@ -254,6 +266,15 @@ def _run_cell(
             )
     finally:
         sim.fcs.destroy()
+    if recorder is not None:
+        from repro.obs import write_ndjson
+
+        meta: Dict[str, object] = {
+            "cell": f"{solver}/{method}/{distribution}",
+            "perturbation": machine.trace.notes().get("perturbation", "none"),
+        }
+        meta.update(obs_meta or {})
+        write_ndjson(obs_export_path, recorder, meta=meta)
     return _Reference(checkpoints=checkpoints, ledger=ledger)
 
 
@@ -361,6 +382,7 @@ def run_dst(
     system_seed: int = 0,
     probe_rounds: int = 3,
     distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
+    obs_export_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> DstReport:
     """Sweep every (solver, method, distribution) cell under ``seeds``
@@ -372,11 +394,24 @@ def run_dst(
     perturbation against the unperturbed reference.
     ``distributions`` extends the sweep along the workload axis — pass
     ``("clustered",)`` (or both) to chaos-test the dynamic load balancer.
+    ``obs_export_dir`` writes one chaos-seed-tagged NDJSON span snapshot
+    per trajectory (``{solver}-{method}-{distribution}-seed{N}.ndjson``;
+    the reference schedule is ``seed0``).
     """
     say = progress if progress is not None else (lambda msg: None)
     chosen = list(seed_list) if seed_list is not None else list(range(1, seeds + 1))
     failures: List[DstFailure] = []
     trajectories = 0
+
+    def obs_path(solver: str, method: str, distribution: str, seed: int):
+        if obs_export_dir is None:
+            return None
+        os.makedirs(obs_export_dir, exist_ok=True)
+        slug = method.replace("+", "_")
+        return os.path.join(
+            obs_export_dir,
+            f"{solver}-{slug}-{distribution}-seed{seed}.ndjson",
+        )
 
     for distribution in distributions:
         for solver in solvers:
@@ -393,6 +428,8 @@ def run_dst(
                     perturbation=None,
                     reference=None,
                     distribution=distribution,
+                    obs_export_path=obs_path(solver, method, distribution, 0),
+                    obs_meta={"chaos_seed": 0},
                 )
                 trajectories += 1
                 for seed in chosen:
@@ -408,6 +445,10 @@ def run_dst(
                             perturbation=perturbation,
                             reference=reference,
                             distribution=distribution,
+                            obs_export_path=obs_path(
+                                solver, method, distribution, seed
+                            ),
+                            obs_meta={"chaos_seed": seed},
                         )
                     except SPMDDeadlock as exc:
                         failures.append(

@@ -45,6 +45,10 @@ The catalog covers the failure modes a redistribution bug produces:
                               factor that triggered it
 ``clock-monotonicity``        virtual clocks and per-phase times never go
                               negative
+``span-accounting``           per-phase sums over the observability layer's
+                              charge spans reproduce the trace aggregates
+                              bit-for-bit (requires an attached, complete
+                              :class:`~repro.obs.spans.ObsRecorder`)
 ============================  ====================================================
 
 Register additional checks with the :func:`invariant` decorator::
@@ -651,10 +655,46 @@ def _check_clocks(checker: InvariantChecker) -> object:
     machine = checker.machine
     if np.any(machine.clocks < 0):
         return f"negative rank clock: {float(machine.clocks.min())}"
-    for phase in machine.trace.phases():
-        stats = machine.trace.get(phase)
+    for phase, stats in machine.trace.items():
         if stats.time < -1e-15:
             return f"phase {phase!r} has negative time {stats.time}"
         if stats.messages < 0 or stats.bytes < 0:
             return f"phase {phase!r} has negative message/byte counts"
+    return None
+
+
+@invariant(
+    "span-accounting",
+    "per-phase span sums reproduce the trace aggregates bit-for-bit",
+)
+def _check_span_accounting(checker: InvariantChecker) -> object:
+    """The observability layer's core guarantee: folding the machine-stream
+    charge spans per phase reproduces the :class:`Trace` aggregates exactly
+    — same floats, same integer counts.  Holds only while the recorder is
+    :attr:`complete <repro.obs.spans.ObsRecorder.complete>` (attached before
+    the first charge, nothing evicted from the ring)."""
+    obs = getattr(checker.machine, "obs", None)
+    if obs is None or not obs.complete:
+        return SKIPPED
+    sums = obs.phase_sums()
+    trace = checker.machine.trace
+    for label in sorted(set(trace.labels()) | set(sums)):
+        stats = trace.phase(label)
+        span = sums.get(label, {"time": 0.0, "messages": 0, "bytes": 0, "calls": 0})
+        if span["calls"] != stats.calls:
+            return (
+                f"phase {label!r}: {span['calls']} charge spans for "
+                f"{stats.calls} trace calls"
+            )
+        if span["time"] != stats.time:
+            return (
+                f"phase {label!r}: span time {span['time']!r} != trace time "
+                f"{stats.time!r} (bitwise)"
+            )
+        if span["messages"] != stats.messages or span["bytes"] != stats.bytes:
+            return (
+                f"phase {label!r}: span messages/bytes "
+                f"{span['messages']}/{span['bytes']} != trace "
+                f"{stats.messages}/{stats.bytes}"
+            )
     return None

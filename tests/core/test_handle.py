@@ -14,7 +14,7 @@ def setup(small_system):
     m = Machine(4)
     pset, owner = random_particle_set(small_system, 4, seed=2)
     fcs = fcs_init("fmm", m, order=3, depth=3, lattice_shells=2)
-    fcs.set_common(small_system.box, offset=small_system.offset, periodic=True)
+    fcs.set_common(box=small_system.box, offset=small_system.offset, periodic=True)
     return m, pset, fcs, small_system
 
 
@@ -99,31 +99,18 @@ class TestMethodB:
         fcs.tune(pset)
         old_pos = [p.copy() for p in pset.pos]
         fcs.run(pset)
-        with pytest.warns(DeprecationWarning, match="resort_floats is deprecated"):
-            tagged = fcs.resort_floats([p * 2.0 for p in old_pos])
+        # one fused exchange for both columns through the unified API
+        ids_in = [np.arange(p.shape[0], dtype=np.int64) for p in old_pos]
+        tagged, ids_out = fcs.resort(([p * 2.0 for p in old_pos], ids_in))
         for r in range(4):
             np.testing.assert_allclose(tagged[r], pset.pos[r] * 2.0)
-        ids_in = [np.arange(p.shape[0], dtype=np.int64) for p in old_pos]
-        with pytest.warns(DeprecationWarning, match="resort_ints is deprecated"):
-            ids_out = fcs.resort_ints(ids_in)
         assert sum(i.shape[0] for i in ids_out) == sum(i.shape[0] for i in ids_in)
 
-    def test_unified_resort_matches_deprecated_shims(self, setup):
-        m, pset, fcs, _ = setup
-        fcs.set_resort(True)
-        fcs.tune(pset)
-        old_pos = [p.copy() for p in pset.pos]
-        fcs.run(pset)
-        ids_in = [np.arange(p.shape[0], dtype=np.int64) for p in old_pos]
-        # one fused exchange for both columns through the unified API
-        floats_out, ids_out = fcs.resort(([p * 2.0 for p in old_pos], ids_in))
-        with pytest.warns(DeprecationWarning):
-            shim_floats = fcs.resort_floats([p * 2.0 for p in old_pos])
-        with pytest.warns(DeprecationWarning):
-            shim_ids = fcs.resort_ints(ids_in)
-        for r in range(4):
-            np.testing.assert_array_equal(floats_out[r], shim_floats[r])
-            np.testing.assert_array_equal(ids_out[r], shim_ids[r])
+    def test_deprecated_shims_removed(self, setup):
+        """The v1 per-dtype entry points are gone (API v2, docs/migration.md)."""
+        _, _, fcs, _ = setup
+        for name in ("resort_floats", "resort_ints", "resort_bytes"):
+            assert not hasattr(fcs, name)
 
     def test_resort_wrong_counts(self, setup):
         m, pset, fcs, _ = setup
@@ -131,8 +118,7 @@ class TestMethodB:
         fcs.tune(pset)
         fcs.run(pset)
         with pytest.raises(ValueError, match="original particle"):
-            with pytest.warns(DeprecationWarning):
-                fcs.resort_floats([np.zeros((3, 3)) for _ in range(4)])
+            fcs.resort([np.zeros((3, 3)) for _ in range(4)])
 
     def test_capacity_fallback_restores(self, small_system):
         """If any rank's arrays are too small, the original order and
@@ -146,7 +132,7 @@ class TestMethodB:
         # capacities exactly at the current counts: any growth must fail
         pset = ParticleSet(pos, q, capacities=counts)
         fcs = fcs_init("fmm", m, order=3, depth=3, lattice_shells=2)
-        fcs.set_common(small_system.box, periodic=True)
+        fcs.set_common(box=small_system.box, periodic=True)
         fcs.set_resort(True)
         fcs.tune(pset)
         report = fcs.run(pset)

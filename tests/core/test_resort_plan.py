@@ -171,7 +171,7 @@ class TestPlanCache:
         machine = Machine(4)
         pset, _ = random_particle_set(small_system, 4, seed=2)
         fcs = fcs_init("fmm", machine, order=3, depth=3, lattice_shells=2)
-        fcs.set_common(small_system.box, offset=small_system.offset, periodic=True)
+        fcs.set_common(box=small_system.box, offset=small_system.offset, periodic=True)
         fcs.set_resort(True)
         fcs.tune(pset)
         fcs.run(pset)
@@ -196,7 +196,7 @@ class TestPlanCache:
         machine = Machine(4)
         pset, _ = random_particle_set(small_system, 4, seed=2)
         fcs = fcs_init("fmm", machine, order=3, depth=3, lattice_shells=2)
-        fcs.set_common(small_system.box, offset=small_system.offset, periodic=True)
+        fcs.set_common(box=small_system.box, offset=small_system.offset, periodic=True)
         fcs.set_resort(True)
         fcs.tune(pset)
         report = fcs.run(pset)
@@ -217,7 +217,7 @@ class TestPlanCache:
         machine = Machine(4)
         pset, _ = random_particle_set(small_system, 4, seed=2)
         fcs = fcs_init("fmm", machine, order=3, depth=3, lattice_shells=2)
-        fcs.set_common(small_system.box, offset=small_system.offset, periodic=True)
+        fcs.set_common(box=small_system.box, offset=small_system.offset, periodic=True)
         fcs.set_resort(True)
         fcs.tune(pset)
         fcs.run(pset)
@@ -416,12 +416,25 @@ class TestHandleAPI:
         with pytest.raises(ValueError, match="different machine"):
             fcs_init(solver, Machine(4))
 
-    def test_set_common_rejects_positional_offset(self, small_system):
+    def test_set_common_is_fully_keyword_only(self, small_system):
         fcs = fcs_init("fmm", Machine(4))
         with pytest.raises(TypeError):
-            fcs.set_common(small_system.box, small_system.offset)
+            fcs.set_common(small_system.box)
         with pytest.raises(TypeError):
-            Solver(Machine(2)).set_common(small_system.box, (0.0, 0.0, 0.0))
+            fcs.set_common(small_system.box, offset=small_system.offset)
+        with pytest.raises(TypeError):
+            Solver(Machine(2)).set_common(small_system.box)
+
+    def test_set_common_validates_arguments(self, small_system):
+        fcs = fcs_init("fmm", Machine(4))
+        with pytest.raises(ValueError, match="3-vectors"):
+            fcs.set_common(box=(1.0, 2.0))
+        with pytest.raises(ValueError, match="positive"):
+            fcs.set_common(box=(1.0, -2.0, 3.0))
+        with pytest.raises(ValueError, match="finite"):
+            fcs.set_common(box=(1.0, float("nan"), 3.0))
+        with pytest.raises(ValueError, match="finite"):
+            fcs.set_common(box=small_system.box, offset=(0.0, float("inf"), 0.0))
 
     def test_resort_rejects_data_pair_without_plan(self, small_system):
         fcs = fcs_init("fmm", Machine(4))
@@ -436,7 +449,7 @@ class TestHandleAPI:
         machine = Machine(4)
         pset, _ = random_particle_set(small_system, 4, seed=2)
         fcs = fcs_init("p2nfft", machine, cutoff=4.0)
-        fcs.set_common(small_system.box, periodic=True)
+        fcs.set_common(box=small_system.box, periodic=True)
         fcs.set_resort(True)
         fcs.tune(pset)
         fcs.set_max_particle_move(0.01)

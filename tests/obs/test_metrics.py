@@ -1,0 +1,124 @@
+"""MetricsRegistry unit tests: schema, determinism, trace/kernel bridges."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    from_trace,
+    merge_kernel_stats,
+)
+from repro.perf.instrument import KernelStats
+from repro.simmpi.machine import Machine
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError, match="increase"):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        assert g.value is None
+        g.set(2.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_histogram_buckets(self):
+        h = Histogram(bounds=(10, 100))
+        for v in (5, 10, 50, 1000):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == 1065.0
+
+    def test_histogram_bad_bounds(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram(bounds=(100, 10))
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", phase="x") is reg.counter("a", phase="x")
+        assert reg.counter("a", phase="x") is not reg.counter("a", phase="y")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_samples_deterministic_order(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a", phase="q").inc(2)
+        reg.counter("a", phase="b").inc(1)
+        reg.gauge("m").set(0.5)
+        names = [(s["name"], tuple(sorted(s["labels"].items()))) for s in reg.samples()]
+        assert names == sorted(names)
+
+    def test_value_reads(self):
+        reg = MetricsRegistry()
+        assert reg.value("missing") == 0
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h").observe(1.0)
+        assert reg.value("c") == 3
+        assert reg.value("g") == 7.0
+        assert reg.value("h") == 1  # histograms read as observation count
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestBridges:
+    def test_from_trace(self):
+        machine = Machine(4)
+        machine.advance(np.ones(4), "w")
+        machine.trace.record("comm", time=0.5, messages=3, nbytes=1024)
+        reg = from_trace(machine.trace)
+        assert reg.value("comm.messages", phase="comm") == 3
+        assert reg.value("comm.bytes", phase="comm") == 1024
+        # phases without traffic produce no comm series
+        assert reg.value("comm.messages", phase="w") == 0
+
+    def test_merge_kernel_stats(self):
+        reg = MetricsRegistry()
+        merge_kernel_stats(
+            reg, {"k1": KernelStats(ns=500, calls=2, ops=10)}
+        )
+        assert reg.value("kernel.wall_ns", kernel="k1") == 500
+        assert reg.value("kernel.calls", kernel="k1") == 2
+        assert reg.value("kernel.ops", kernel="k1") == 10
+
+    def test_instrument_export_metrics(self):
+        from repro.perf import instrument
+
+        with instrument.collect():
+            instrument.record("kx", 1000, ops=4)
+            reg = instrument.export_metrics()
+        assert reg.value("kernel.wall_ns", kernel="kx") == 1000
+        assert reg.value("kernel.ops", kernel="kx") == 4
+
+    def test_audit_export_metrics(self, machine4):
+        from repro.simmpi.p2p import sendrecv
+        from repro.verify.audit import enable_auditing, export_metrics
+
+        auditor = enable_auditing(machine4)
+        sendrecv(machine4, 0, 1, np.zeros(16), "x")
+        reg = export_metrics(auditor)
+        assert reg.value("audit.messages", phase="x") == 1
+        assert reg.value("audit.bytes", phase="x") == 128
+        assert reg.value("audit.p2p_calls") == 1
+        assert reg.value("audit.violations") == 0

@@ -1,0 +1,58 @@
+"""The observability layer is strictly opt-in: with no recorder attached —
+and equally with one attached — runs are byte-identical in everything the
+repo fingerprints (physics state, trace aggregates, auditor ledgers).
+Recording observes the clocks out-of-band of the data plane."""
+
+import numpy as np
+
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.obs.spans import enable_observability
+from repro.simmpi.machine import Machine
+from repro.verify.audit import enable_auditing
+from repro.verify.dst import ledger_fingerprint
+from repro.verify.invariants import state_fingerprint
+
+
+def run(observed: bool, method="B"):
+    machine = Machine(4)
+    recorder = enable_observability(machine) if observed else None
+    auditor = enable_auditing(machine)
+    sim = Simulation(
+        machine,
+        silica_melt_system(32, seed=3),
+        SimulationConfig(
+            solver="fmm",
+            method=method,
+            seed=3,
+            track_energy=True,
+            solver_kwargs={"order": 3, "depth": 3, "lattice_shells": 2},
+        ),
+    )
+    sim.run(2)
+    return machine, sim, auditor, recorder
+
+
+class TestNullPathByteIdentity:
+    def test_fingerprints_and_ledgers_identical(self):
+        m_off, sim_off, aud_off, _ = run(observed=False)
+        m_on, sim_on, aud_on, rec = run(observed=True)
+        assert state_fingerprint(sim_off) == state_fingerprint(sim_on)
+        assert ledger_fingerprint(aud_off) == ledger_fingerprint(aud_on)
+        # clocks and trace are bitwise equal too: recording never charges
+        assert np.array_equal(m_off.clocks, m_on.clocks)
+        for label in m_off.trace.labels():
+            a, b = m_off.trace.phase(label), m_on.trace.phase(label)
+            assert (a.time, a.messages, a.bytes, a.calls) == (
+                b.time, b.messages, b.bytes, b.calls
+            )
+        assert rec.complete and rec.span_count() > 0
+
+    def test_detach_stops_recording(self):
+        machine = Machine(4)
+        recorder = enable_observability(machine)
+        machine.advance(np.ones(4), "w")
+        n = recorder.span_count()
+        machine.obs = None
+        machine.advance(np.ones(4), "w")
+        assert recorder.span_count() == n

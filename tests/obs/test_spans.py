@@ -1,0 +1,142 @@
+"""ObsRecorder unit tests: charge capture, parity, sections, ring bounds."""
+
+import numpy as np
+import pytest
+
+from repro.obs.spans import (
+    MACHINE_RANK,
+    ROOT_SPAN,
+    ObsRecorder,
+    enable_observability,
+    machine_span,
+)
+from repro.simmpi.machine import Machine
+from repro.simmpi.p2p import exchange_pairs, send_round, sendrecv
+
+
+def assert_parity(machine, recorder):
+    """Per-phase span sums must equal the trace aggregates bit-for-bit."""
+    assert recorder.complete
+    sums = recorder.phase_sums()
+    trace = machine.trace
+    for label in sorted(set(trace.labels()) | set(sums)):
+        stats = trace.phase(label)
+        if stats.calls == 0:
+            continue
+        span = sums[label]
+        assert span["calls"] == stats.calls
+        assert span["time"] == stats.time  # bitwise, not approx
+        assert span["messages"] == stats.messages
+        assert span["bytes"] == stats.bytes
+
+
+class TestChargeCapture:
+    def test_advance_emits_charge_and_rank_spans(self, machine4):
+        rec = enable_observability(machine4)
+        machine4.advance(np.array([1.0, 2.0, 0.0, 0.5]), "work")
+        charges = [s for s in rec.spans(MACHINE_RANK) if s.kind == "charge"]
+        assert len(charges) == 1
+        assert charges[0].phase == "work"
+        assert charges[0].time == machine4.trace.phase("work").time
+        # rank spans only for ranks whose clock moved
+        assert rec.span_count(2) == 0
+        for r in (0, 1, 3):
+            (span,) = list(rec.spans(r))
+            assert span.kind == "rank"
+            assert span.t_end == machine4.clocks[r]
+        assert_parity(machine4, rec)
+
+    def test_p2p_parity(self, machine4):
+        rec = enable_observability(machine4)
+        sendrecv(machine4, 0, 1, np.zeros(16), "a")
+        send_round(machine4, [(0, 2, np.zeros(4)), (1, 3, np.zeros(8))], "b")
+        exchange_pairs(machine4, [(0, 1, np.zeros(2), np.zeros(2))], "c")
+        assert_parity(machine4, rec)
+
+    def test_mixed_run_parity(self, machine8):
+        rec = enable_observability(machine8)
+        rng = np.random.default_rng(7)
+        for k in range(10):
+            machine8.advance(rng.random(8) * 1e-3, f"p{k % 3}")
+            sendrecv(machine8, k % 8, (k + 3) % 8, np.zeros(k + 1), f"p{k % 3}")
+        assert_parity(machine8, rec)
+
+    def test_metrics_fed_from_charges(self, machine4):
+        rec = enable_observability(machine4)
+        sendrecv(machine4, 0, 1, np.zeros(16), "x")
+        assert rec.metrics.value("comm.messages", phase="x") == 1
+        assert rec.metrics.value("comm.bytes", phase="x") == 128
+        assert rec.metrics.value("comm.payload_nbytes") == 1
+
+    def test_per_rank_false_only_machine_stream(self, machine4):
+        rec = enable_observability(machine4, per_rank=False)
+        machine4.advance(np.ones(4), "w")
+        assert rec.ranks() == [MACHINE_RANK]
+        assert_parity(machine4, rec)
+
+
+class TestSections:
+    def test_nesting_and_parenting(self, machine4):
+        rec = enable_observability(machine4)
+        with rec.span("outer") as outer_id:
+            machine4.advance(np.ones(4), "w")
+            with rec.span("inner") as inner_id:
+                machine4.advance(np.ones(4), "w")
+        spans = {s.id: s for s in rec.spans(MACHINE_RANK)}
+        assert spans[inner_id].parent == outer_id
+        assert spans[outer_id].parent == ROOT_SPAN
+        charges = [s for s in rec.spans(MACHINE_RANK) if s.kind == "charge"]
+        assert charges[0].parent == outer_id
+        assert charges[1].parent == inner_id
+        # critical-path containment: charges lie inside their section
+        for c in charges:
+            sec = spans[c.parent]
+            assert sec.t_start <= c.t_start and c.t_end <= sec.t_end
+
+    def test_machine_span_null_when_detached(self, machine4):
+        with machine_span(machine4, "anything") as sid:
+            assert sid is None
+        rec = enable_observability(machine4)
+        with machine_span(machine4, "real", op="test") as sid:
+            assert sid is not None
+        (span,) = list(rec.spans(MACHINE_RANK))
+        assert span.phase == "real" and span.kind == "section"
+
+    def test_mark(self, machine4):
+        rec = enable_observability(machine4)
+        machine4.advance(np.ones(4), "w")
+        rec.mark("event", step=3)
+        mark = [s for s in rec.spans(MACHINE_RANK) if s.kind == "mark"][0]
+        assert mark.time == 0.0
+        assert mark.t_start == machine4.elapsed()
+        assert mark.attrs_dict() == {"step": 3}
+
+
+class TestBounds:
+    def test_ring_eviction_clears_complete(self, machine4):
+        rec = enable_observability(machine4, capacity=4)
+        for _ in range(6):
+            machine4.advance(np.ones(4), "w")
+        assert rec.span_count(MACHINE_RANK) == 4
+        assert rec.dropped[MACHINE_RANK] == 2
+        assert not rec.complete
+
+    def test_late_attach_not_complete(self, machine4):
+        machine4.advance(np.ones(4), "w")
+        rec = enable_observability(machine4)
+        assert not rec.complete
+
+    def test_reset_clocks_clears(self, machine4):
+        rec = enable_observability(machine4, capacity=2)
+        for _ in range(5):
+            machine4.advance(np.ones(4), "w")
+        machine4.reset_clocks()
+        assert rec.span_count() == 0
+        assert rec.dropped == {}
+        assert rec.complete
+        machine4.advance(np.ones(4), "w")
+        assert_parity(machine4, rec)
+
+    def test_bad_capacity(self, machine4):
+        with pytest.raises(ValueError, match="capacity"):
+            ObsRecorder(machine4, capacity=0)

@@ -13,7 +13,7 @@ def test_matches_ewald(small_system):
     m = Machine(4)
     pset, owner = random_particle_set(small_system, 4)
     fcs = fcs_init("direct", m)
-    fcs.set_common(small_system.box, periodic=True)
+    fcs.set_common(box=small_system.box, periodic=True)
     fcs.tune(pset)
     report = fcs.run(pset)
     assert not report.changed
@@ -27,7 +27,7 @@ def test_never_resorts(small_system):
     m = Machine(4)
     pset, _ = random_particle_set(small_system, 4)
     fcs = fcs_init("direct", m)
-    fcs.set_common(small_system.box, periodic=True)
+    fcs.set_common(box=small_system.box, periodic=True)
     fcs.set_resort(True)
     fcs.tune(pset)
     report = fcs.run(pset)
@@ -41,7 +41,7 @@ def test_open_boundaries(small_system):
     m = Machine(2)
     pset, owner = random_particle_set(small_system, 2)
     fcs = fcs_init("direct", m)
-    fcs.set_common(small_system.box, periodic=False)
+    fcs.set_common(box=small_system.box, periodic=False)
     fcs.tune(pset)
     fcs.run(pset)
     pd, _ = direct_sum(small_system.pos, small_system.q)
@@ -54,7 +54,7 @@ def test_charges_gather_comm(small_system):
     m = Machine(4)
     pset, _ = random_particle_set(small_system, 4)
     fcs = fcs_init("direct", m)
-    fcs.set_common(small_system.box, periodic=True)
+    fcs.set_common(box=small_system.box, periodic=True)
     fcs.tune(pset)
     fcs.run(pset)
     assert m.trace.get("gather").time > 0

@@ -14,7 +14,7 @@ def run(system, nprocs, method="A", accuracy=1e-4, **kwargs):
     m = Machine(nprocs)
     pset, owner = random_particle_set(system, nprocs, seed=7)
     fcs = fcs_init("ewald", m, cutoff=4.0, **kwargs)
-    fcs.set_common(system.box, periodic=True)
+    fcs.set_common(box=system.box, periodic=True)
     if method == "B":
         fcs.set_resort(True)
     fcs.tune(pset, accuracy)
@@ -48,7 +48,7 @@ class TestAccuracy:
             m = Machine(4)
             pset, _ = random_particle_set(small_system, 4, seed=7)
             fcs = fcs_init(solver, m, cutoff=4.0)
-            fcs.set_common(small_system.box, periodic=True)
+            fcs.set_common(box=small_system.box, periodic=True)
             fcs.tune(pset, 1e-4)
             fcs.run(pset)
             energies[solver] = 0.5 * (
@@ -100,7 +100,7 @@ class TestIntegration:
     def test_open_rejected(self):
         fcs = fcs_init("ewald", Machine(2))
         with pytest.raises(ValueError, match="periodic"):
-            fcs.set_common((10.0, 10.0, 10.0), periodic=False)
+            fcs.set_common(box=(10.0, 10.0, 10.0), periodic=False)
 
     def test_in_registry(self):
         from repro.core.handle import available_solvers

@@ -130,7 +130,7 @@ class TestParallelSolver:
         m = Machine(nprocs)
         pset, owner = random_particle_set(system, nprocs, seed=5)
         fcs = fcs_init("fmm", m, order=4, depth=3, lattice_shells=2, **kwargs)
-        fcs.set_common(system.box, offset=system.offset, periodic=True)
+        fcs.set_common(box=system.box, offset=system.offset, periodic=True)
         if method == "B":
             fcs.set_resort(True)
         fcs.tune(pset)

@@ -18,7 +18,7 @@ def sorted_state(small_system):
     m = Machine(P)
     pset, _ = random_particle_set(small_system, P, seed=8)
     fcs = fcs_init("fmm", m, order=3, depth=3, lattice_shells=1)
-    fcs.set_common(small_system.box, periodic=True)
+    fcs.set_common(box=small_system.box, periodic=True)
     fcs.tune(pset)
     solver = fcs.solver
     blocks = solver._make_blocks(pset)

@@ -151,7 +151,7 @@ class TestSolver:
         m = Machine(nprocs)
         pset, owner = random_particle_set(system, nprocs, seed=6)
         fcs = fcs_init("p2nfft", m, cutoff=3.0, **kwargs)
-        fcs.set_common(system.box, offset=system.offset, periodic=True)
+        fcs.set_common(box=system.box, offset=system.offset, periodic=True)
         if method == "B":
             fcs.set_resort(True)
         fcs.tune(pset, 1e-4)
@@ -199,13 +199,13 @@ class TestSolver:
         m = Machine(2)
         fcs = fcs_init("p2nfft", m)
         with pytest.raises(ValueError, match="periodic"):
-            fcs.set_common((10.0, 10.0, 10.0), periodic=False)
+            fcs.set_common(box=(10.0, 10.0, 10.0), periodic=False)
 
     def test_neighborhood_strategy_with_max_move(self, small_system):
         m = Machine(8)
         pset, owner = random_particle_set(small_system, 8, seed=6)
         fcs = fcs_init("p2nfft", m, cutoff=2.0)
-        fcs.set_common(small_system.box, periodic=True)
+        fcs.set_common(box=small_system.box, periodic=True)
         fcs.set_resort(True)
         fcs.tune(pset)
         fcs.run(pset)  # first run: establishes grid order

@@ -128,7 +128,7 @@ def _solve(solver, nprocs, system, seed=0, **solver_kwargs):
     )
     ids = [np.flatnonzero(owner == r) for r in range(nprocs)]
     with fcs_init(solver, machine, **solver_kwargs) as fcs:
-        fcs.set_common(system.box, offset=system.offset, periodic=True)
+        fcs.set_common(box=system.box, offset=system.offset, periodic=True)
         fcs.tune(particles, 1e-4)
         fcs.run(particles)
     order = np.argsort(np.concatenate(ids))

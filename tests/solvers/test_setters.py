@@ -15,7 +15,7 @@ class TestFMMSetters:
         fcs = fcs_init("fmm", m, lattice_shells=1)
         fcs.solver.set_order(3)
         fcs.solver.set_depth(3)
-        fcs.set_common(small_system.box, periodic=True)
+        fcs.set_common(box=small_system.box, periodic=True)
         pset, _ = random_particle_set(small_system, 2)
         fcs.tune(pset)
         assert fcs.solver.tree.p == 3
@@ -35,7 +35,7 @@ class TestP2NFFTSetters:
         fcs.solver.set_cutoff(3.0)
         fcs.solver.set_alpha(0.9)
         fcs.solver.set_mesh_size(16)
-        fcs.set_common(small_system.box, periodic=True)
+        fcs.set_common(box=small_system.box, periodic=True)
         pset, _ = random_particle_set(small_system, 2)
         fcs.tune(pset)
         assert fcs.solver.rc == 3.0
@@ -68,13 +68,13 @@ class TestImbalance:
         m_single = Machine(4)
         pset, _, _ = distribute(small_system, 4, "single")
         fcs = fcs_init("p2nfft", m_single, cutoff=3.0, compute="skip")
-        fcs.set_common(small_system.box, periodic=True)
+        fcs.set_common(box=small_system.box, periodic=True)
         fcs.tune(pset)
         fcs.run(pset)
         m_grid = Machine(4)
         pset2, _, _ = distribute(small_system, 4, "grid")
         fcs2 = fcs_init("p2nfft", m_grid, cutoff=3.0, compute="skip")
-        fcs2.set_common(small_system.box, periodic=True)
+        fcs2.set_common(box=small_system.box, periodic=True)
         fcs2.tune(pset2)
         fcs2.run(pset2)
         assert m_single.imbalance() >= m_grid.imbalance()

@@ -32,7 +32,7 @@ class TestMoreRanksThanParticlesPerRank:
         )
         kwargs = {"order": 3, "depth": 3, "lattice_shells": 1} if solver == "fmm" else {}
         fcs = fcs_init(solver, m, **kwargs)
-        fcs.set_common(tiny_system.box, periodic=True)
+        fcs.set_common(box=tiny_system.box, periodic=True)
         fcs.tune(pset)
         report = fcs.run(pset)
         assert not report.changed
@@ -50,7 +50,7 @@ class TestMoreRanksThanParticlesPerRank:
             capacities=[tiny_system.n] * P,
         )
         fcs = fcs_init("p2nfft", m, cutoff=3.0)
-        fcs.set_common(tiny_system.box, periodic=True)
+        fcs.set_common(box=tiny_system.box, periodic=True)
         fcs.set_resort(True)
         fcs.tune(pset)
         report = fcs.run(pset)
@@ -65,7 +65,7 @@ class TestSingleRank:
         pset = ParticleSet([tiny_system.pos.copy()], [tiny_system.q.copy()])
         kwargs = {"order": 3, "depth": 3, "lattice_shells": 1} if solver == "fmm" else {}
         fcs = fcs_init(solver, m, **kwargs)
-        fcs.set_common(tiny_system.box, periodic=True)
+        fcs.set_common(box=tiny_system.box, periodic=True)
         fcs.tune(pset)
         fcs.run(pset)
         assert np.isfinite(pset.pot[0]).all()
@@ -93,7 +93,7 @@ class TestResortBytes:
             [tiny_system.q[owner == r].copy() for r in range(P)],
         )
         fcs = fcs_init("p2nfft", m, cutoff=3.0)
-        fcs.set_common(tiny_system.box, periodic=True)
+        fcs.set_common(box=tiny_system.box, periodic=True)
         fcs.set_resort(True)
         fcs.tune(pset)
         old_pos = [p.copy() for p in pset.pos]
@@ -103,8 +103,7 @@ class TestResortBytes:
             np.round(p[:, 0] * 1e6).astype(np.int64).view(np.uint8).reshape(-1, 8)
             for p in old_pos
         ]
-        with pytest.warns(DeprecationWarning, match="resort_bytes is deprecated"):
-            out = fcs.resort_bytes(tags)
+        out = fcs.resort(tags)
         for r in range(P):
             expected = np.round(pset.pos[r][:, 0] * 1e6).astype(np.int64)
             got = out[r].reshape(-1, 8).copy().view(np.int64).ravel()
@@ -124,7 +123,7 @@ class TestOutOfBoxPositions:
             [pos[:half], pos[half:]], [tiny_system.q[:half], tiny_system.q[half:]]
         )
         fcs = fcs_init("p2nfft", m, cutoff=3.0)
-        fcs.set_common(tiny_system.box, periodic=True)
+        fcs.set_common(box=tiny_system.box, periodic=True)
         fcs.tune(pset)
         fcs.run(pset)
         assert np.isfinite(np.concatenate(pset.pot)).all()
