@@ -1,0 +1,8 @@
+"""``python -m repro.ckpt`` — see :mod:`repro.ckpt.cli`."""
+
+import sys
+
+from repro.ckpt.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Command-line interface for :mod:`repro.ckpt`.
+
+Four subcommands::
+
+    python -m repro.ckpt save    --solver fmm --method B --steps 3 \
+        --nprocs 4 --particles 24 --out melt.ckpt.ndjson
+    python -m repro.ckpt restore --path melt.ckpt.ndjson --steps 2
+    python -m repro.ckpt resize  --path melt.ckpt.ndjson --nprocs 6 \
+        --out melt-6.ckpt.ndjson
+    python -m repro.ckpt verify  [--quick] [--via-file]
+
+``save`` runs a fresh seeded trajectory and writes its checkpoint —
+a self-contained way to produce a real checkpoint file for the other
+subcommands (and for ``python -m repro.verify dst --resume-from``).
+``restore`` rebuilds the simulation, optionally continues it, and prints
+the component state fingerprints.  ``resize`` redistributes the file onto
+a different rank count through the fused exchange and reports the moved
+bytes.  ``verify`` runs the restart-equivalence suite (run 2N ≡ run N +
+save + restore + run N) over the solver × method grid and exits non-zero
+on any divergence — the CI ``ckpt-smoke`` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ckpt",
+        description=(
+            "deterministic checkpoint/restart and elastic rank-resize for "
+            "the coupled particle simulation"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    save = sub.add_parser(
+        "save", help="run a fresh seeded trajectory and write its checkpoint"
+    )
+    save.add_argument("--solver", default="fmm")
+    save.add_argument("--method", default="B")
+    save.add_argument("--steps", type=int, default=3)
+    save.add_argument("--nprocs", type=int, default=4)
+    save.add_argument("--particles", type=int, default=24)
+    save.add_argument("--seed", type=int, default=0)
+    save.add_argument("--out", required=True, metavar="PATH")
+
+    restore = sub.add_parser(
+        "restore",
+        help="rebuild a simulation from a checkpoint and optionally continue",
+    )
+    restore.add_argument("--path", required=True, metavar="PATH")
+    restore.add_argument(
+        "--steps", type=int, default=0, help="continuation steps (default 0)"
+    )
+
+    resize = sub.add_parser(
+        "resize", help="redistribute a checkpoint onto a different rank count"
+    )
+    resize.add_argument("--path", required=True, metavar="PATH")
+    resize.add_argument("--nprocs", type=int, required=True, metavar="Q")
+    resize.add_argument("--out", required=True, metavar="PATH")
+
+    verify = sub.add_parser(
+        "verify",
+        help="restart-equivalence suite: run 2N == run N + save/restore + run N",
+    )
+    verify.add_argument("--solvers", nargs="+", default=None, metavar="SOLVER")
+    verify.add_argument("--methods", nargs="+", default=None, metavar="METHOD")
+    verify.add_argument("--steps", type=int, default=2)
+    verify.add_argument("--nprocs", type=int, default=2)
+    verify.add_argument("--particles", type=int, default=16)
+    verify.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid: direct+fmm solvers, methods A and B+move",
+    )
+    verify.add_argument(
+        "--via-file",
+        action="store_true",
+        help="route every checkpoint through an NDJSON file round-trip",
+    )
+    return parser
+
+
+def _cmd_save(args) -> int:
+    from repro.md.simulation import Simulation, SimulationConfig
+    from repro.md.systems import silica_melt_system
+    from repro.simmpi.machine import Machine
+
+    sim = Simulation(
+        Machine(args.nprocs),
+        silica_melt_system(args.particles, seed=args.seed),
+        SimulationConfig(
+            solver=args.solver,
+            method=args.method,
+            seed=args.seed,
+            track_energy=True,
+        ),
+    )
+    try:
+        sim.run(args.steps)
+        n_bytes = sim.save_checkpoint(args.out)
+    finally:
+        sim.fcs.destroy()
+    print(
+        f"saved {args.out}: {args.solver}/{args.method} step {args.steps}, "
+        f"{args.particles} particles on {args.nprocs} ranks, {n_bytes} bytes"
+    )
+    return 0
+
+
+def _cmd_restore(args) -> int:
+    from repro.ckpt import load_checkpoint, restore_simulation
+    from repro.verify.invariants import InvariantChecker, state_fingerprint
+
+    ckpt = load_checkpoint(args.path)
+    sim = restore_simulation(ckpt)
+    try:
+        checker = InvariantChecker(sim)
+        if args.steps:
+            sim.run(args.steps)
+        checker.assert_ok()
+        fp = state_fingerprint(sim)
+    finally:
+        sim.fcs.destroy()
+    print(
+        f"restored {args.path}: step {ckpt.step_index} + {args.steps} "
+        f"continuation step(s), {ckpt.n_particles} particles on "
+        f"{ckpt.nprocs} ranks; invariants ok"
+    )
+    for component in sorted(fp):
+        print(f"  {component}: {fp[component]}")
+    return 0
+
+
+def _cmd_resize(args) -> int:
+    from repro.ckpt import load_checkpoint, resize_checkpoint
+    from repro.ckpt.checkpoint import write_checkpoint
+
+    ckpt = load_checkpoint(args.path)
+    resized, plan = resize_checkpoint(ckpt, args.nprocs)
+    n_bytes = write_checkpoint(resized, args.out)
+    print(
+        f"resized {args.path}: {plan.old_nprocs} -> {plan.new_nprocs} ranks, "
+        f"{plan.n_particles} particles, {plan.moved_bytes} payload bytes "
+        f"moved in one fused exchange; wrote {args.out} ({n_bytes} bytes)"
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.ckpt.equivalence import (
+        EQUIVALENCE_METHODS,
+        EQUIVALENCE_SOLVERS,
+        run_equivalence_suite,
+    )
+
+    if args.quick:
+        solvers = args.solvers or ["direct", "fmm"]
+        methods = args.methods or ["A", "B+move"]
+    else:
+        solvers = args.solvers or list(EQUIVALENCE_SOLVERS)
+        methods = args.methods or list(EQUIVALENCE_METHODS)
+    cells = run_equivalence_suite(
+        solvers,
+        methods,
+        steps=args.steps,
+        nprocs=args.nprocs,
+        n_particles=args.particles,
+        via_file=args.via_file,
+        progress=print,
+    )
+    failed = [c for c in cells if not c.ok]
+    print(
+        f"restart-equivalence: {len(cells) - len(failed)}/{len(cells)} "
+        f"cells ok"
+    )
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(sys.argv[1:] if argv is None else argv)
+    handler = {
+        "save": _cmd_save,
+        "restore": _cmd_restore,
+        "resize": _cmd_resize,
+        "verify": _cmd_verify,
+    }[args.command]
+    return handler(args)

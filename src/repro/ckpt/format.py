@@ -1,0 +1,111 @@
+"""Bit-exact NDJSON value codec for checkpoint files.
+
+Follows the :mod:`repro.obs.export` conventions — one JSON object per line,
+sorted keys, compact separators, a ``kind: "meta"`` header carrying the
+format version — and extends them with a recursive value codec so *any*
+checkpointed quantity survives a write/read cycle bit-for-bit:
+
+* ``float`` (and NumPy floating scalars) are stored as their
+  ``float.hex()`` bit pattern and restored via ``float.fromhex`` — the
+  same convention the obs exporter uses for span fields;
+* ``numpy.ndarray`` buffers are stored as ``{dtype, shape, hex}`` with the
+  raw little-endian bytes hex-encoded, so every column (positions,
+  charges, velocities, resort indices, ...) round-trips exactly;
+* ints (arbitrary precision — the PCG64 RNG state is a 128-bit integer),
+  bools, strings, ``None``, and nested lists/dicts pass through plainly.
+
+The encoded markers (``__float__``, ``__ndarray__``) are reserved keys; a
+user dict containing them would be mis-decoded, which is acceptable for an
+internal format whose writers are all in this package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Iterable, Iterator, List
+
+import numpy as np
+
+__all__ = [
+    "CKPT_VERSION",
+    "decode_value",
+    "dumps",
+    "encode_value",
+    "read_lines",
+    "write_lines",
+]
+
+#: bump when the on-disk layout changes incompatibly
+CKPT_VERSION = 1
+
+
+def dumps(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace (obs convention)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively encode ``value`` into a JSON-able, bit-exact form."""
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        if arr.dtype.byteorder == ">":  # pragma: no cover - exotic inputs
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        return {
+            "__ndarray__": {
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "hex": arr.tobytes().hex(),
+            }
+        }
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (float, np.floating)):
+        return {"__float__": float(value).hex()}
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, dict):
+        return {str(k): encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    raise TypeError(f"cannot encode {type(value).__name__} for a checkpoint")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if set(value) == {"__ndarray__"}:
+            spec = value["__ndarray__"]
+            raw = bytes.fromhex(spec["hex"])
+            arr = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
+            return arr.reshape([int(d) for d in spec["shape"]]).copy()
+        if set(value) == {"__float__"}:
+            return float.fromhex(value["__float__"])
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+def write_lines(stream: IO[str], lines: Iterable[str]) -> int:
+    """Write NDJSON lines; returns the total bytes written (UTF-8)."""
+    total = 0
+    for line in lines:
+        stream.write(line)
+        stream.write("\n")
+        total += len(line.encode("utf-8")) + 1
+    return total
+
+
+def read_lines(stream: IO[str]) -> Iterator[dict]:
+    """Yield parsed NDJSON records, skipping blank lines."""
+    for line in stream:
+        line = line.strip()
+        if line:
+            yield json.loads(line)
+
+
+def encode_lines(records: List[dict]) -> List[str]:
+    """Encode a list of plain records into deterministic NDJSON lines."""
+    return [dumps(rec) for rec in records]

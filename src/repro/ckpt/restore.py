@@ -1,0 +1,223 @@
+"""Rebuild a live simulation from a :class:`~repro.ckpt.checkpoint.Checkpoint`.
+
+The restore contract is **continuation equivalence**: for any solver and
+redistribution method,
+
+    run 2N steps  ≡  run N + save + restore + run N
+
+with byte-identical state fingerprints, step records, traces and auditor
+ledgers (the ``ckpt-restart-equivalence`` invariant).  The implementation
+reaches that in five ordered phases:
+
+1. build a fresh :class:`~repro.md.simulation.Simulation` from the
+   checkpointed global state (construction charges no machine cost);
+2. overwrite the per-rank physics columns and all application bookkeeping
+   (records, RNG, adaptive/method state, balance monitor) bit-for-bit;
+3. re-run solver tuning — every solver's ``tune`` depends only on the
+   global particle count, box and accuracy, so the rebuilt internal tables
+   are identical to the donor's;
+4. reinstate the solver handle's resort state: the last
+   :class:`~repro.solvers.base.RunReport` and, if the donor held a compiled
+   :class:`~repro.core.plan.ResortPlan`, a recompile keyed by the *same*
+   resort indices — the continuation then cache-hits exactly where the
+   uninterrupted run would;
+5. **last**, restore the machine clocks, trace and (if attached) auditor
+   ledgers from the checkpoint — wiping every cost phases 1-4 charged.
+
+Because phase 5 overwrites the auditor, the caller must attach it (via
+:func:`~repro.verify.audit.enable_auditing`) *before* calling
+:func:`restore_simulation`; an auditor attached afterwards starts from
+empty ledgers and will not reproduce the uninterrupted run's fingerprint.
+
+An attached :class:`~repro.obs.spans.ObsRecorder` is cleared (its buffered
+spans describe the reconstruction, not the run) and marked incomplete-from-
+start — the ``span-accounting`` invariant then reports SKIPPED instead of
+comparing against a trace whose history predates the recorder.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.ckpt.checkpoint import (
+    Checkpoint,
+    plain_records_to_step_records,
+    restore_auditor_state,
+    restore_trace_state,
+)
+
+__all__ = ["restore_simulation"]
+
+
+def restore_simulation(
+    ckpt: Checkpoint,
+    *,
+    machine=None,
+    perturbation=None,
+):
+    """Rebuild a live, runnable simulation from ``ckpt``.
+
+    Parameters
+    ----------
+    machine:
+        target :class:`~repro.simmpi.machine.Machine`; a fresh one with the
+        checkpoint's rank count is created when omitted.  Must be fresh
+        (zero clocks) and have the checkpoint's rank count — restoring onto
+        a *different* rank count goes through
+        :func:`~repro.ckpt.resize.resize_checkpoint` first.
+    perturbation:
+        optional :class:`~repro.simmpi.chaos.Perturbation` for the resumed
+        execution (the chaos-resume workflow).  Perturbations degrade only
+        the machine's cost model, never the data plane, so a resumed
+        trajectory's physics matches the uninterrupted run under *any*
+        perturbation — the property the DST resume sweep checks.
+
+    Returns the restored :class:`~repro.md.simulation.Simulation`.
+    """
+    from repro.core.particles import ParticleSet
+    from repro.md.simulation import Simulation
+    from repro.md.systems import ParticleSystem
+    from repro.simmpi.machine import Machine
+
+    t0_ns = time.perf_counter_ns()
+    if machine is None:
+        machine = Machine(ckpt.nprocs)
+    if machine.nprocs != ckpt.nprocs:
+        raise ValueError(
+            f"checkpoint has {ckpt.nprocs} ranks but the machine has "
+            f"{machine.nprocs}; resize the checkpoint first "
+            "(repro.ckpt.resize.resize_checkpoint)"
+        )
+
+    # -- phase 1: a fresh simulation from the checkpointed global state ------
+    g = ckpt.gathered()
+    system = ParticleSystem(
+        pos=g["pos"],
+        q=g["q"],
+        vel=g["vel"],
+        box=ckpt.box.copy(),
+        offset=ckpt.offset.copy(),
+    )
+    cfg = ckpt.make_config(perturbation=perturbation)
+    sim = Simulation(machine, system, cfg)
+
+    # -- phase 2: per-rank physics columns + application bookkeeping ---------
+    particles = ParticleSet(
+        [a.copy() for a in ckpt.pos],
+        [a.copy() for a in ckpt.q],
+        capacities=list(ckpt.capacities),
+    )
+    particles.pot = [a.copy() for a in ckpt.pot]
+    particles.field = [a.copy() for a in ckpt.field]
+    sim.particles = particles
+    sim.vel = [a.copy() for a in ckpt.vel]
+    sim.acc = [a.copy() for a in ckpt.acc]
+    sim.ids = [a.copy() for a in ckpt.ids]
+    sim.records = plain_records_to_step_records(ckpt.records)
+    sim.step_index = ckpt.step_index
+    sim._initialized = ckpt.initialized
+    sim.active_method = ckpt.active_method
+    sim._adaptive_trial = ckpt.adaptive.get("trial")
+    sim._method_costs = {
+        str(k): float(v) for k, v in ckpt.adaptive.get("method_costs", {}).items()
+    }
+    sim._switch_transient = bool(ckpt.adaptive.get("switch_transient", False))
+    sim._last_max_move = (
+        None if ckpt.last_max_move is None else float(ckpt.last_max_move)
+    )
+    sim._rng = np.random.default_rng(cfg.seed + 7919)
+    sim._rng.bit_generator.state = copy.deepcopy(ckpt.rng_state)
+    if ckpt.monitor is not None:
+        if sim.balance_monitor is not None:
+            sim.balance_monitor.load_state(ckpt.monitor)
+        else:  # defensive: config said off/unsupported but state exists
+            from repro.core.balance import ImbalanceMonitor
+
+            sim.balance_monitor = ImbalanceMonitor.from_state(ckpt.monitor)
+
+    # -- phase 3: solver tuning (deterministic in n/box/accuracy) ------------
+    sim.fcs.set_resort(bool(ckpt.fcs_state.get("resort_requested", False)))
+    sim.fcs.tune(sim.particles, cfg.accuracy)
+
+    # -- phase 4: solver-handle resort state ---------------------------------
+    report_state = ckpt.fcs_state.get("report")
+    if report_state is not None:
+        from repro.solvers.base import RunReport
+
+        report = RunReport(
+            changed=bool(report_state["changed"]),
+            resort_indices=(
+                None
+                if report_state["resort_indices"] is None
+                else [
+                    np.asarray(a, dtype=np.int64).copy()
+                    for a in report_state["resort_indices"]
+                ]
+            ),
+            old_counts=(
+                None
+                if report_state["old_counts"] is None
+                else np.asarray(report_state["old_counts"], dtype=np.int64)
+            ),
+            new_counts=(
+                None
+                if report_state["new_counts"] is None
+                else np.asarray(report_state["new_counts"], dtype=np.int64)
+            ),
+            strategy=str(report_state["strategy"]),
+            comm=str(report_state["comm"]),
+            rank_work=(
+                None
+                if report_state["rank_work"] is None
+                else np.asarray(report_state["rank_work"], dtype=np.float64)
+            ),
+        )
+        sim.fcs._last_report = report
+        if ckpt.fcs_state.get("has_plan") and report.changed:
+            # recompile the cached plan from the same resort indices; the
+            # compile's charges are wiped in phase 5 and the continuation
+            # cache-hits on the identical key, exactly like the donor run
+            sim.fcs.resort_plan()
+    solver = sim.fcs.solver
+    solver._load_balance = str(ckpt.solver_state.get("load_balance", "off"))
+    solver._rebalance_pending = bool(
+        ckpt.solver_state.get("rebalance_pending", False)
+    )
+
+    # -- phase 5: machine clocks / trace / auditor (wipes rebuild costs) -----
+    machine.clocks[:] = np.asarray(ckpt.clocks, dtype=np.float64)
+    machine.trace.load_state(restore_trace_state(ckpt.trace))
+    if machine.perturbation is not None:
+        # the note describes *this* execution's chaos schedule, not the
+        # donor's
+        machine.trace.note("perturbation", machine.perturbation.describe())
+    if machine.auditor is not None:
+        if ckpt.auditor is not None:
+            machine.auditor.load_state(restore_auditor_state(ckpt.auditor))
+        else:
+            # the donor run was not audited: this auditor observed only the
+            # reconstruction (whose charges were just wiped), so start it
+            # fresh with its baseline at the restored trace — it then
+            # accounts exactly the continuation
+            machine.auditor.load_state(
+                {"trace_baseline": machine.trace.snapshot()}
+            )
+    obs = machine.obs
+    if obs is not None:
+        obs.clear()
+        # the recorder was not watching the checkpointed history: only a
+        # restore onto a zero-cost prefix is complete-from-start
+        obs.complete_from_start = (
+            machine.trace.total_time() == 0.0
+            and machine.trace.total_messages() == 0
+        )
+        obs.metrics.counter("ckpt.restores").inc()
+        obs.metrics.counter("ckpt.restore_ns").inc(
+            time.perf_counter_ns() - t0_ns
+        )
+        obs.mark("ckpt.restore", op="ckpt.restore", step=sim.step_index)
+    return sim

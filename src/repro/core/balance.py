@@ -234,6 +234,63 @@ class ImbalanceMonitor:
             self.events.append(BalanceEvent(step=step, lambda_before=lam))
         return fire
 
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Complete monitor state for checkpointing (config + hysteresis).
+
+        The λ history and event log are part of the state: the restored
+        monitor must fill a pending event's ``lambda_after`` and honor
+        ``min_interval`` exactly as the uninterrupted run would.
+        """
+        return {
+            "trigger": self.trigger,
+            "rearm": self.rearm,
+            "min_interval": self.min_interval,
+            "history": list(self.history),
+            "events": [
+                {
+                    "step": e.step,
+                    "lambda_before": e.lambda_before,
+                    "lambda_after": e.lambda_after,
+                }
+                for e in self.events
+            ],
+            "armed": self._armed,
+            "last_fire_step": self._last_fire_step,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Replace the monitor's full state with a :meth:`state_dict` copy."""
+        self.trigger = float(state["trigger"])
+        self.rearm = float(state["rearm"])
+        self.min_interval = int(state["min_interval"])
+        self.history = [float(x) for x in state.get("history", [])]
+        self.events = [
+            BalanceEvent(
+                step=int(e["step"]),
+                lambda_before=float(e["lambda_before"]),
+                lambda_after=(
+                    None if e.get("lambda_after") is None else float(e["lambda_after"])
+                ),
+            )
+            for e in state.get("events", [])
+        ]
+        self._armed = bool(state.get("armed", True))
+        last = state.get("last_fire_step")
+        self._last_fire_step = None if last is None else int(last)
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ImbalanceMonitor":
+        """Build a monitor directly from a :meth:`state_dict` copy."""
+        monitor = cls(
+            trigger=float(state["trigger"]),
+            rearm=float(state["rearm"]),
+            min_interval=int(state["min_interval"]),
+        )
+        monitor.load_state(state)
+        return monitor
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         last = f"{self.history[-1]:.3f}" if self.history else "-"
         return (

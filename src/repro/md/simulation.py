@@ -95,6 +95,15 @@ class SimulationConfig:
     #: distribution-sensitive cost, far is count-proportional, and the
     #: weighted splitter balances their sum, so λ watches both
     balance_phases: tuple = ("near", "far")
+    #: write a :mod:`repro.ckpt` checkpoint to ``checkpoint_dir`` every N
+    #: steps (after initialization and whenever ``step_index % N == 0``);
+    #: 0 disables auto-checkpointing.  Checkpoint capture is an out-of-band
+    #: observation and charges no machine cost, so a checkpointed run's
+    #: trace is bitwise that of an uncheckpointed one.
+    checkpoint_every: int = 0
+    #: target directory for auto-checkpoints (files named
+    #: ``step-NNNNNN.ckpt.ndjson``); required when ``checkpoint_every > 0``
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         """Reject unknown or conflicting knobs up front.
@@ -155,6 +164,16 @@ class SimulationConfig:
                 "conflicting balance knobs: need balance_trigger >= "
                 f"balance_rearm >= 1 (hysteresis), got trigger="
                 f"{self.balance_trigger!r}, rearm={self.balance_rearm!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every!r}"
+            )
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ValueError(
+                "conflicting knobs: checkpoint_every > 0 needs a "
+                "checkpoint_dir to write into; pass checkpoint_dir=... or "
+                "checkpoint_every=0"
             )
         if self.load_balance != "off" and not tuple(self.balance_phases):
             raise ValueError(
@@ -368,12 +387,42 @@ class Simulation:
         return record
 
     def run(self, steps: int) -> List[StepRecord]:
-        """Initialize (if needed) and simulate ``steps`` time steps."""
+        """Initialize (if needed) and simulate ``steps`` time steps.
+
+        With ``config.checkpoint_every > 0`` a restartable checkpoint is
+        written to ``config.checkpoint_dir`` after initialization and after
+        every N-th step — see :mod:`repro.ckpt`.
+        """
         if not self._initialized:
             self.initialize()
+            self._maybe_checkpoint()
         for _ in range(steps):
             self.step()
+            self._maybe_checkpoint()
         return self.records
+
+    # -- checkpointing (repro.ckpt) ---------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> int:
+        """Write a restartable :mod:`repro.ckpt` checkpoint; returns bytes
+        written.  Pure observation — charges no machine cost."""
+        from repro.ckpt import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    def _maybe_checkpoint(self) -> None:
+        cfg = self.config
+        if cfg.checkpoint_every <= 0:
+            return
+        if self.step_index % cfg.checkpoint_every != 0:
+            return
+        import os
+
+        self.save_checkpoint(
+            os.path.join(
+                cfg.checkpoint_dir, f"step-{self.step_index:06d}.ckpt.ndjson"
+            )
+        )
 
     # -- adaptive method selection (extension beyond the paper) -----------------------
 

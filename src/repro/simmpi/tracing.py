@@ -306,6 +306,39 @@ class Trace:
                 out[label] = d
         return out
 
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Complete deep-copied trace state for checkpointing.
+
+        The inverse of :meth:`load_state`; together they let
+        :mod:`repro.ckpt` freeze a trace mid-run and reinstate it bit-exactly
+        on a fresh machine (phases, event counters, annotations and the
+        per-rank nominal work vectors).
+        """
+        return {
+            "phases": {k: dataclasses.replace(v) for k, v in self._phases.items()},
+            "counters": dict(self._counters),
+            "notes": dict(self._notes),
+            "rank_work": {k: v.copy() for k, v in self._rank_work.items()},
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Replace the entire trace content with a :meth:`state_dict` copy.
+
+        Deep-copies the input, so the caller's state dict (e.g. a held
+        checkpoint) is never aliased by the live trace.
+        """
+        self.clear()
+        for label, stats in state.get("phases", {}).items():  # type: ignore[union-attr]
+            self._phases[str(label)] = dataclasses.replace(stats)
+        for name, value in state.get("counters", {}).items():  # type: ignore[union-attr]
+            self._counters[str(name)] = int(value)
+        for key, value in state.get("notes", {}).items():  # type: ignore[union-attr]
+            self._notes[str(key)] = str(value)
+        for label, work in state.get("rank_work", {}).items():  # type: ignore[union-attr]
+            self._rank_work[str(label)] = np.asarray(work, dtype=np.float64).copy()
+
     def clear(self) -> None:
         self._phases.clear()
         self._counters.clear()

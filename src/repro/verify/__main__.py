@@ -146,6 +146,36 @@ def _dst_parser() -> argparse.ArgumentParser:
             "per trajectory into DIR"
         ),
     )
+    parser.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "kill every perturbed trajectory after its step-K fingerprint "
+            "check and resume it from a repro.ckpt checkpoint; the resumed "
+            "trajectory is still held to the uninterrupted reference"
+        ),
+    )
+    parser.add_argument(
+        "--ckpt-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "with --kill-at: round-trip the kill checkpoint through an "
+            "NDJSON file in DIR (default: in-memory)"
+        ),
+    )
+    parser.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="CKPT",
+        help=(
+            "resume the given checkpoint file under the perturbation seeds "
+            "instead of sweeping fresh trajectories (run_resume_sweep); "
+            "--steps counts continuation steps"
+        ),
+    )
     return parser
 
 
@@ -155,9 +185,33 @@ def main_dst(argv: List[str]) -> int:
         DEFAULT_METHODS,
         DEFAULT_SOLVERS,
         run_dst,
+        run_resume_sweep,
     )
 
     args = _dst_parser().parse_args(argv)
+    if args.resume_from is not None:
+        report = run_resume_sweep(
+            args.resume_from,
+            steps=args.steps,
+            seeds=args.seeds,
+            seed_list=args.seed_list,
+            progress=print,
+        )
+        print(report.summary())
+        for failure in report.failures:
+            print(
+                f"  seed {failure.seed} "
+                f"[{failure.solver}/{failure.method}]: {failure.detail}"
+            )
+            print(
+                "  reproduce: "
+                + failure.repro_command(
+                    nprocs=report.nprocs,
+                    steps=report.steps,
+                    particles=report.particles,
+                )
+            )
+        return 1 if report.failures else 0
     solvers = args.solvers or list(DEFAULT_SOLVERS)
     methods = args.methods or list(DEFAULT_METHODS)
     distributions = args.distributions or list(DEFAULT_DISTRIBUTIONS)
@@ -172,6 +226,8 @@ def main_dst(argv: List[str]) -> int:
         system_seed=args.system_seed,
         distributions=distributions,
         obs_export_dir=args.obs_export_dir,
+        kill_at=args.kill_at,
+        ckpt_dir=args.ckpt_dir,
         progress=print,
     )
     print(report.summary())

@@ -394,6 +394,68 @@ class CommAuditor:
             nbytes += size_ab + size_ba
         self._record(phase, messages, nbytes)
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Complete deep-copied auditor bookkeeping for checkpointing.
+
+        Captures the per-phase ledgers, the plan ledger, the attach-time
+        trace baseline, the pending-send list and the call/violation
+        diagnostics — everything :func:`ledger_fingerprint
+        <repro.verify.dst.ledger_fingerprint>` and the accounting invariants
+        read.  The neighbor table and ``strict`` flag are *configuration*,
+        not run state, and are left to the restoring caller.
+        """
+        from repro.simmpi.tracing import PhaseStats
+
+        return {
+            "ledger": {k: dataclasses.replace(v) for k, v in self.ledger.items()},
+            "plan_ledger": {
+                k: dataclasses.replace(v) for k, v in self.plan_ledger.items()
+            },
+            "trace_baseline": {
+                k: dataclasses.replace(v)
+                for k, v in self.trace_baseline.items()
+                if isinstance(v, PhaseStats)
+            },
+            "pending_sends": list(self._pending_sends),
+            "violations": list(self.violations),
+            "n_plan_compiles": self.n_plan_compiles,
+            "n_plan_executions": self.n_plan_executions,
+            "n_plan_fused_columns": self.n_plan_fused_columns,
+            "n_alltoall_calls": self.n_alltoall_calls,
+            "n_p2p_calls": self.n_p2p_calls,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Replace the auditor's bookkeeping with a :meth:`state_dict` copy.
+
+        Used by :func:`repro.ckpt.restore.restore_simulation` as its final
+        act: the restored machine's auditor continues the checkpointed
+        ledgers exactly where the original run left them, so the prefix +
+        continuation ledger equals the uninterrupted run's.
+        """
+        self.ledger = {
+            str(k): dataclasses.replace(v) for k, v in state.get("ledger", {}).items()
+        }
+        self.plan_ledger = {
+            str(k): dataclasses.replace(v)
+            for k, v in state.get("plan_ledger", {}).items()
+        }
+        self.trace_baseline = {
+            str(k): dataclasses.replace(v)
+            for k, v in state.get("trace_baseline", {}).items()
+        }
+        self._pending_sends = [
+            (int(s), int(d), int(b)) for s, d, b in state.get("pending_sends", [])
+        ]
+        self.violations = [str(v) for v in state.get("violations", [])]
+        self.n_plan_compiles = int(state.get("n_plan_compiles", 0))
+        self.n_plan_executions = int(state.get("n_plan_executions", 0))
+        self.n_plan_fused_columns = int(state.get("n_plan_fused_columns", 0))
+        self.n_alltoall_calls = int(state.get("n_alltoall_calls", 0))
+        self.n_p2p_calls = int(state.get("n_p2p_calls", 0))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CommAuditor(nprocs={self.nprocs}, alltoall_calls="

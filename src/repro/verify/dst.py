@@ -60,6 +60,7 @@ __all__ = [
     "ledger_fingerprint",
     "run_dst",
     "run_order_invariance_probe",
+    "run_resume_sweep",
 ]
 
 #: all four registered solvers (the DST default is the full matrix)
@@ -109,6 +110,11 @@ class DstFailure:
     seed: int
     detail: str
     distribution: str = "homogeneous"
+    #: step at which the trajectory was killed and resumed from checkpoint
+    #: (``None`` for uninterrupted trajectories)
+    kill_at: Optional[int] = None
+    #: checkpoint file the trajectory resumed from (``run_resume_sweep``)
+    resume_from: Optional[str] = None
 
     def repro_command(self, *, nprocs: int, steps: int, particles: int) -> str:
         """One-line command reproducing exactly this failing cell.
@@ -118,18 +124,24 @@ class DstFailure:
         so the repro pins the seed and minimizes the trajectory work around
         it instead of passing the labels through.
         """
+        if self.resume_from is not None:
+            return (
+                f"python -m repro.verify dst --resume-from {self.resume_from} "
+                f"--steps {steps} --seed-list {self.seed}"
+            )
         if self.solver == "spmd-probe":
             return (
                 f"python -m repro.verify dst --solvers direct --methods A "
                 f"--steps 1 --particles {particles} --nprocs {nprocs} "
                 f"--seed-list {self.seed}"
             )
+        kill = f" --kill-at {self.kill_at}" if self.kill_at is not None else ""
         return (
             f"python -m repro.verify dst --solvers {self.solver} "
             f"--methods {self.method!r} --steps {steps} "
             f"--particles {particles} --nprocs {nprocs} "
             f"--distributions {self.distribution} "
-            f"--seed-list {self.seed}"
+            f"--seed-list {self.seed}{kill}"
         )
 
 
@@ -187,6 +199,8 @@ def _run_cell(
     distribution: str = "homogeneous",
     obs_export_path: Optional[str] = None,
     obs_meta: Optional[Dict[str, object]] = None,
+    kill_at: Optional[int] = None,
+    ckpt_dir: Optional[str] = None,
 ) -> _Reference:
     """Run one trajectory; check against ``reference`` when given.
 
@@ -204,10 +218,23 @@ def _run_cell(
     ``obs_export_path`` attaches a span recorder (:mod:`repro.obs`) and, on
     success, writes the perturbation-tagged NDJSON snapshot there.  The
     recorder observes clocks out-of-band, so fingerprints are unaffected.
+
+    ``kill_at=K`` kills *perturbed* trajectories right after the step-``K``
+    fingerprint check: the simulation is checkpointed (through an NDJSON
+    file round-trip when ``ckpt_dir`` is given), destroyed, and restored
+    onto a fresh machine under the *same* perturbation — the resumed
+    trajectory must then keep matching the uninterrupted reference
+    schedule's fingerprints and final ledger.  This is the chaos-resume
+    workflow: kill + restore is itself a schedule event and must not move
+    the physics.  The reference run (``reference=None``) is never killed.
     """
     if distribution not in DST_DISTRIBUTIONS:
         raise ValueError(
             f"unknown distribution {distribution!r}; pick from {DST_DISTRIBUTIONS}"
+        )
+    if kill_at is not None and not 0 <= kill_at <= steps:
+        raise ValueError(
+            f"kill_at must be within 0..steps ({steps}), got {kill_at!r}"
         )
     machine = Machine(nprocs)
     recorder = None
@@ -251,12 +278,46 @@ def _run_cell(
             checker.expected_fingerprint = reference.checkpoints[k]
             checker.assert_ok(["schedule-independence"])
 
+    def maybe_kill(k: int) -> None:
+        """Kill + checkpoint-resume this (perturbed) trajectory at step k."""
+        nonlocal sim, machine, auditor, checker, recorder
+        if kill_at is None or k != kill_at or reference is None:
+            return
+        from repro.ckpt import (
+            capture_checkpoint,
+            load_checkpoint,
+            restore_simulation,
+            write_checkpoint,
+        )
+
+        if ckpt_dir is not None:
+            os.makedirs(ckpt_dir, exist_ok=True)
+            slug = method.replace("+", "_")
+            path = os.path.join(
+                ckpt_dir, f"{solver}-{slug}-kill{k}.ckpt.ndjson"
+            )
+            write_checkpoint(capture_checkpoint(sim), path)
+            ckpt = load_checkpoint(path)
+        else:
+            ckpt = capture_checkpoint(sim)
+        sim.fcs.destroy()
+        machine = Machine(nprocs)
+        if recorder is not None:
+            from repro.obs import enable_observability
+
+            recorder = enable_observability(machine)
+        auditor = enable_auditing(machine)
+        sim = restore_simulation(ckpt, machine=machine, perturbation=perturbation)
+        checker = InvariantChecker(sim)
+
     try:
         sim.initialize()
         checkpoint(0)
+        maybe_kill(0)
         for k in range(steps):
             sim.step()
             checkpoint(k + 1)
+            maybe_kill(k + 1)
         auditor.assert_quiescent()
         ledger = ledger_fingerprint(auditor)
         if reference is not None and ledger != reference.ledger:
@@ -383,6 +444,8 @@ def run_dst(
     probe_rounds: int = 3,
     distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
     obs_export_dir: Optional[str] = None,
+    kill_at: Optional[int] = None,
+    ckpt_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> DstReport:
     """Sweep every (solver, method, distribution) cell under ``seeds``
@@ -397,6 +460,11 @@ def run_dst(
     ``obs_export_dir`` writes one chaos-seed-tagged NDJSON span snapshot
     per trajectory (``{solver}-{method}-{distribution}-seed{N}.ndjson``;
     the reference schedule is ``seed0``).
+    ``kill_at=K`` kills every *perturbed* trajectory after its step-``K``
+    fingerprint check and resumes it from a :mod:`repro.ckpt` checkpoint
+    (written under ``ckpt_dir`` when given, else in-memory); the resumed
+    trajectory is still held to the uninterrupted reference's fingerprints
+    and ledger — the chaos-resume property.
     """
     say = progress if progress is not None else (lambda msg: None)
     chosen = list(seed_list) if seed_list is not None else list(range(1, seeds + 1))
@@ -449,19 +517,21 @@ def run_dst(
                                 solver, method, distribution, seed
                             ),
                             obs_meta={"chaos_seed": seed},
+                            kill_at=kill_at,
+                            ckpt_dir=ckpt_dir,
                         )
                     except SPMDDeadlock as exc:
                         failures.append(
                             DstFailure(
                                 solver, method, seed, f"deadlock: {exc}",
-                                distribution=distribution,
+                                distribution=distribution, kill_at=kill_at,
                             )
                         )
                     except AssertionError as exc:
                         failures.append(
                             DstFailure(
                                 solver, method, seed, str(exc),
-                                distribution=distribution,
+                                distribution=distribution, kill_at=kill_at,
                             )
                         )
                     trajectories += 1
@@ -493,4 +563,111 @@ def run_dst(
         probes=probes,
         failures=failures,
         distributions=tuple(distributions),
+    )
+
+
+# -- checkpoint-resume sweep ---------------------------------------------------
+
+
+def run_resume_sweep(
+    resume_from: str,
+    *,
+    steps: int = 3,
+    seeds: int = 5,
+    seed_list: Optional[Sequence[int]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> DstReport:
+    """Resume one saved checkpoint under ``seeds`` perturbation seeds.
+
+    The operational recovery question DST cannot answer from fresh starts
+    alone: given a checkpoint file a dead job left behind (e.g. from
+    ``SimulationConfig.checkpoint_every`` or a ``--ckpt-dir`` chaos run),
+    does resuming it give one trajectory, regardless of the machine the
+    resumed job lands on?  The **null-perturbation resume is the
+    reference**: it runs with the full invariant registry asserted after
+    every step and records per-step fingerprints and the final ledger;
+    every perturbed resume is then held to those via
+    ``schedule-independence``.  Failures carry a one-line
+    ``--resume-from`` repro command.
+    """
+    from repro.ckpt import load_checkpoint, restore_simulation
+
+    say = progress if progress is not None else (lambda msg: None)
+    ckpt = load_checkpoint(resume_from)
+    chosen = list(seed_list) if seed_list is not None else list(range(1, seeds + 1))
+    solver = str(ckpt.config.get("solver", "?"))
+    method = str(ckpt.config.get("method", "?"))
+    distribution = str(ckpt.config.get("distribution", "?"))
+    failures: List[DstFailure] = []
+
+    def run_once(
+        perturbation: Optional[Perturbation], reference: Optional[_Reference]
+    ) -> _Reference:
+        machine = Machine(ckpt.nprocs)
+        auditor = enable_auditing(machine)
+        sim = restore_simulation(ckpt, machine=machine, perturbation=perturbation)
+        checker = InvariantChecker(sim)
+        checkpoints: List[Dict[str, str]] = []
+        try:
+            if not sim._initialized:
+                sim.initialize()
+            for k in range(steps):
+                sim.step()
+                if reference is None:
+                    checkpoints.append(state_fingerprint(sim))
+                    checker.assert_ok()
+                else:
+                    checker.expected_fingerprint = reference.checkpoints[k]
+                    checker.assert_ok(["schedule-independence"])
+            auditor.assert_quiescent()
+            ledger = ledger_fingerprint(auditor)
+            if reference is not None and ledger != reference.ledger:
+                raise AssertionError(
+                    "auditor ledger fingerprint of the resumed run diverged "
+                    "from the null-perturbation resume"
+                )
+        finally:
+            sim.fcs.destroy()
+        return _Reference(checkpoints=checkpoints, ledger=ledger)
+
+    say(
+        f"dst: resume {solver}/{method} from {resume_from} "
+        f"(step {ckpt.step_index}) — reference schedule ..."
+    )
+    reference = run_once(None, None)
+    trajectories = 1
+    for seed in chosen:
+        perturbation = Perturbation.sample(seed) if seed != 0 else None
+        try:
+            run_once(perturbation, reference)
+        except SPMDDeadlock as exc:
+            failures.append(
+                DstFailure(
+                    solver, method, seed, f"deadlock: {exc}",
+                    distribution=distribution, resume_from=resume_from,
+                )
+            )
+        except AssertionError as exc:
+            failures.append(
+                DstFailure(
+                    solver, method, seed, str(exc),
+                    distribution=distribution, resume_from=resume_from,
+                )
+            )
+        trajectories += 1
+    say(
+        f"dst: resume {solver}/{method} {len(chosen)} seeds "
+        f"{'FAILED' if failures else 'ok'}"
+    )
+    return DstReport(
+        solvers=(solver,),
+        methods=(method,),
+        nprocs=ckpt.nprocs,
+        steps=steps,
+        particles=ckpt.n_particles,
+        seeds=chosen,
+        trajectories=trajectories,
+        probes=0,
+        failures=failures,
+        distributions=(distribution,),
     )

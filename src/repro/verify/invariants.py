@@ -39,6 +39,12 @@ The catalog covers the failure modes a redistribution bug produces:
 ``schedule-independence``     the physics state fingerprint is bitwise
                               identical to the reference schedule's (armed by
                               the DST runner via ``expected_fingerprint``)
+``ckpt-restart-equivalence``  a restored run's state *and* auditor-ledger
+                              fingerprints are byte-identical to the
+                              uninterrupted run's — run 2N ≡ run N + save +
+                              restore + run N (armed by the
+                              :mod:`repro.ckpt.equivalence` kit via
+                              ``expected_restart``)
 ``balance-conservation``      weighted rebalancing permutes but never drops
                               particles, and the observed imbalance factor
                               after a triggered rebalance never exceeds the
@@ -616,6 +622,45 @@ def _check_schedule_independence(checker: InvariantChecker) -> object:
             f"component(s) {diverged} diverged from the reference schedule "
             f"under perturbation [{pert}]"
         )
+    return None
+
+
+@invariant(
+    "ckpt-restart-equivalence",
+    "restored-run state and auditor-ledger fingerprints are byte-identical "
+    "to the uninterrupted run's (armed via expected_restart)",
+)
+def _check_ckpt_restart_equivalence(checker: InvariantChecker) -> object:
+    expected = getattr(checker, "expected_restart", None)
+    if expected is None:
+        return SKIPPED
+    actual = state_fingerprint(checker.sim)
+    expected_state = expected.get("state") or {}
+    diverged = [
+        name for name in expected_state if actual.get(name) != expected_state[name]
+    ]
+    if diverged:
+        return (
+            f"component(s) {diverged} of the restored run diverged from the "
+            "uninterrupted run (run-2N vs run-N+save+restore+run-N)"
+        )
+    expected_ledger = expected.get("ledger")
+    if expected_ledger is not None:
+        auditor = checker.machine.auditor
+        if auditor is None:
+            return (
+                "a ledger fingerprint is expected but no CommAuditor is "
+                "attached to the restored machine (attach it with "
+                "enable_auditing BEFORE restore_simulation)"
+            )
+        from repro.verify.dst import ledger_fingerprint
+
+        if ledger_fingerprint(auditor) != expected_ledger:
+            return (
+                "auditor ledger fingerprint of the restored run diverged "
+                "from the uninterrupted run's (prefix + continuation traffic "
+                "must equal the straight run's)"
+            )
     return None
 
 

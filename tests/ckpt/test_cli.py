@@ -1,0 +1,56 @@
+"""The ``python -m repro.ckpt`` command-line interface."""
+
+import pytest
+
+from repro.ckpt import load_checkpoint
+from repro.ckpt.cli import main
+
+
+class TestCkptCli:
+    def test_save_restore_resize_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "melt.ckpt.ndjson")
+        assert (
+            main(
+                [
+                    "save", "--solver", "fmm", "--method", "B",
+                    "--steps", "2", "--nprocs", "4", "--particles", "24",
+                    "--out", path,
+                ]
+            )
+            == 0
+        )
+        assert "saved" in capsys.readouterr().out
+
+        assert main(["restore", "--path", path, "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants ok" in out
+        assert "positions:" in out
+
+        up = str(tmp_path / "melt6.ckpt.ndjson")
+        down = str(tmp_path / "melt4.ckpt.ndjson")
+        assert main(["resize", "--path", path, "--nprocs", "6", "--out", up]) == 0
+        assert "4 -> 6 ranks" in capsys.readouterr().out
+        assert main(["resize", "--path", up, "--nprocs", "4", "--out", down]) == 0
+        capsys.readouterr()
+
+        donor = load_checkpoint(path)
+        back = load_checkpoint(down)
+        got, want = back.gathered(), donor.gathered()
+        for name in got:
+            assert got[name].tobytes() == want[name].tobytes()
+
+    def test_verify_quick_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "verify", "--quick", "--solvers", "direct",
+                    "--methods", "B",
+                ]
+            )
+            == 0
+        )
+        assert "1/1 cells ok" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,112 @@
+"""Edge-case regressions for :func:`repro.core.restore.restore_results`.
+
+Method A's restore sends each computed potential/field back to the
+particle's initial (rank, position) through the fine-grained
+redistribution.  These tests pin the degenerate layouts a checkpointed or
+resized run can legally produce: ranks that own nothing, one-particle
+systems, and ranks whose entire current population departs on restore.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import ParticleSet
+from repro.core.resort import pack_resort_index
+from repro.core.restore import restore_results
+from repro.simmpi.machine import Machine
+
+
+def run_restore(orig_ids, cur_ids):
+    """Restore pot/field for particles with original layout ``orig_ids``
+    (per-rank global ids, defining origin rank+position) currently living
+    as ``cur_ids``; returns the restored ParticleSet."""
+    nprocs = len(orig_ids)
+    machine = Machine(nprocs)
+    # origin lookup: global id -> (original rank, original position)
+    orig_rank = {}
+    orig_pos = {}
+    for r, ids in enumerate(orig_ids):
+        for k, g in enumerate(ids):
+            orig_rank[g] = r
+            orig_pos[g] = k
+    origloc = [
+        pack_resort_index(
+            np.array([orig_rank[g] for g in ids], dtype=np.int64),
+            np.array([orig_pos[g] for g in ids], dtype=np.int64),
+        )
+        for ids in cur_ids
+    ]
+    # results are functions of the global id, so placement is verifiable
+    pots = [np.array([float(g) for g in ids]) for ids in cur_ids]
+    fields = [
+        np.array([[g, g + 0.5, g - 0.25] for g in ids]).reshape(-1, 3)
+        for ids in cur_ids
+    ]
+    old_counts = [len(ids) for ids in orig_ids]
+    particles = ParticleSet(
+        [np.zeros((c, 3)) for c in old_counts],
+        [np.zeros(c) for c in old_counts],
+    )
+    restore_results(machine, origloc, pots, fields, particles, old_counts)
+    for r, ids in enumerate(orig_ids):
+        assert particles.pot[r].shape == (len(ids),)
+        assert particles.field[r].shape == (len(ids), 3)
+        for k, g in enumerate(ids):
+            assert particles.pot[r][k] == float(g)
+            assert np.array_equal(
+                particles.field[r][k], [g, g + 0.5, g - 0.25]
+            )
+    return particles
+
+
+class TestRestoreEdges:
+    def test_zero_particle_rank(self):
+        """A rank owning nothing — originally and currently — is legal."""
+        run_restore(
+            orig_ids=[[0, 1], [], [2]],
+            cur_ids=[[2], [], [1, 0]],
+        )
+
+    def test_all_ranks_empty_but_one(self):
+        run_restore(
+            orig_ids=[[], [0, 1, 2], []],
+            cur_ids=[[1], [2], [0]],
+        )
+
+    def test_single_particle_system(self):
+        run_restore(orig_ids=[[], [0]], cur_ids=[[0], []])
+        run_restore(orig_ids=[[0], []], cur_ids=[[0], []])
+
+    def test_full_departure_rank(self):
+        """Rank 0's entire current population departs on restore, and its
+        own original particles all come back from elsewhere."""
+        run_restore(
+            orig_ids=[[0, 1], [2, 3], [4]],
+            cur_ids=[[4, 3], [0, 2], [1]],
+        )
+
+    def test_scrambled_positions_within_rank(self):
+        """Restoration scatters to the original *position*, not just rank."""
+        run_restore(
+            orig_ids=[[3, 1, 4], [0, 2]],
+            cur_ids=[[2, 4], [1, 0, 3]],
+        )
+
+    def test_count_mismatch_raises(self):
+        machine = Machine(2)
+        origloc = [
+            pack_resort_index(
+                np.array([0], dtype=np.int64), np.array([0], dtype=np.int64)
+            ),
+            np.zeros(0, dtype=np.int64),
+        ]
+        pots = [np.array([7.0]), np.zeros(0)]
+        fields = [np.zeros((1, 3)), np.zeros((0, 3))]
+        particles = ParticleSet(
+            [np.zeros((2, 3)), np.zeros((0, 3))],
+            [np.zeros(2), np.zeros(0)],
+        )
+        with pytest.raises(RuntimeError, match="restore received"):
+            restore_results(
+                machine, origloc, pots, fields, particles, old_counts=[2, 0]
+            )
