@@ -27,7 +27,7 @@ from repro.md.simulation import Simulation, SimulationConfig
 from repro.md.systems import ParticleSystem
 from repro.simmpi.costmodel import JUQUEEN, JUROPA, SystemProfile
 
-__all__ = ["fig6", "fig7", "fig8", "fig9", "phases"]
+__all__ = ["fig6", "fig7", "fig7_cell", "fig8", "fig9", "phases"]
 
 
 def _simulate(
@@ -198,7 +198,42 @@ def fig6(preset: str = "default", quiet: bool = False) -> Dict:
 # --------------------------------------------------------------------------- fig 7
 
 
-def fig7(preset: str = "default", quiet: bool = False) -> Dict:
+def fig7_cell(preset: str, solver: str, method: str) -> Dict[str, List[float]]:
+    """One independent Fig. 7 cell: the per-step phase series of one
+    (solver, method) combination.
+
+    Top-level so the perf harness can fan the four cells out over an
+    execution backend's worker processes (each cell is a full simulation
+    with its own machine — the coarse-grained parallelism of the Fig. 7
+    wall benchmark); results are deterministic, so a fan-out returns
+    bitwise the sequential series.
+    """
+    scale = PRESETS[preset]
+    steps = scale.steps_fig7
+    system = make_system(scale.n, scale.seed)
+    subdomain = float(system.box.min()) / round(scale.nprocs ** (1.0 / 3.0))
+    sim = _simulate(
+        scale,
+        n=scale.n,
+        nprocs=scale.nprocs,
+        profile=JUROPA,
+        solver=solver,
+        method=method,
+        distribution="random",
+        steps=steps,
+        dynamics="brownian",
+        brownian_step=0.005 * subdomain,
+        skip_compute=True,
+    )
+    series: Dict[str, List[float]] = {"sort": [], "restore": [], "resort": [], "total": []}
+    for rec in sim.records:
+        b = step_breakdown(rec)
+        for k in series:
+            series[k].append(b[k])
+    return series
+
+
+def fig7(preset: str = "default", quiet: bool = False, backend=None) -> Dict:
     """Method A vs B over the initial run and the first time steps (Fig. 7).
 
     Random initial distribution.  Expected shape: method A's sort/restore
@@ -206,34 +241,30 @@ def fig7(preset: str = "default", quiet: bool = False) -> Dict:
     collapse by orders of magnitude from step 1 on, pulling the total down
     (the paper reports ~45 % of A's total for the FMM, ~20 % for the
     P2NFFT).
+
+    ``backend``: an optional :class:`~repro.backend.ExecutionBackend` (or
+    spec string) to run the four independent (solver, method) cells on
+    worker processes; modeled results are identical either way.
     """
     scale = PRESETS[preset]
     steps = scale.steps_fig7
-    system = make_system(scale.n, scale.seed)
-    subdomain = float(system.box.min()) / round(scale.nprocs ** (1.0 / 3.0))
+    cells = [(solver, method) for solver in ("fmm", "p2nfft") for method in ("A", "B")]
+    if backend is not None:
+        from repro.backend import resolve_backend
+
+        engine = resolve_backend(backend)
+    else:
+        engine = None
+    if engine is not None and engine.workers:
+        all_series = engine.map_tasks(
+            "repro.bench.figures.fig7_cell",
+            [(preset, solver, method) for solver, method in cells],
+        )
+    else:
+        all_series = [fig7_cell(preset, solver, method) for solver, method in cells]
     results: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
-    for solver in ("fmm", "p2nfft"):
-        results[solver] = {}
-        for method in ("A", "B"):
-            sim = _simulate(
-                scale,
-                n=scale.n,
-                nprocs=scale.nprocs,
-                profile=JUROPA,
-                solver=solver,
-                method=method,
-                distribution="random",
-                steps=steps,
-                dynamics="brownian",
-                brownian_step=0.005 * subdomain,
-                skip_compute=True,
-            )
-            series: Dict[str, List[float]] = {"sort": [], "restore": [], "resort": [], "total": []}
-            for rec in sim.records:
-                b = step_breakdown(rec)
-                for k in series:
-                    series[k].append(b[k])
-            results[solver][method] = series
+    for (solver, method), series in zip(cells, all_series):
+        results.setdefault(solver, {})[method] = series
     if not quiet:
         for solver in results:
             print_header(

@@ -430,9 +430,15 @@ def capture_checkpoint(sim, *, thermostat=None) -> Checkpoint:
     config = {
         f.name: copy.deepcopy(getattr(cfg, f.name))
         for f in dataclasses.fields(cfg)
-        if f.name != "perturbation"
+        if f.name not in ("perturbation", "backend")
     }
     config["balance_phases"] = list(cfg.balance_phases)
+    # a live backend instance is host machinery, not simulation state:
+    # persist the engine spec string so a restore on any host (or under a
+    # different engine) rebuilds an equivalent run
+    from repro.backend import backend_spec
+
+    config["backend"] = backend_spec(cfg.backend)
 
     fcs = sim.fcs
     report = fcs._last_report

@@ -104,6 +104,14 @@ class SimulationConfig:
     #: target directory for auto-checkpoints (files named
     #: ``step-NNNNNN.ckpt.ndjson``); required when ``checkpoint_every > 0``
     checkpoint_dir: Optional[str] = None
+    #: execution backend hosting the payload data plane: ``None`` (default)
+    #: leaves the machine's current attachment untouched, ``"inprocess"`` /
+    #: ``"process"`` / ``"process:N"`` resolve via
+    #: :func:`repro.backend.resolve_backend`, or pass a live
+    #: :class:`~repro.backend.ExecutionBackend`.  Purely a hosting choice:
+    #: traces, ledgers and state fingerprints are backend-independent
+    #: (see ``docs/backends.md``)
+    backend: object = None
 
     def __post_init__(self) -> None:
         """Reject unknown or conflicting knobs up front.
@@ -175,6 +183,18 @@ class SimulationConfig:
                 "checkpoint_dir to write into; pass checkpoint_dir=... or "
                 "checkpoint_every=0"
             )
+        if self.backend is not None:
+            from repro.backend import BACKEND_NAMES, ExecutionBackend
+            from repro.backend.base import _parse_spec
+
+            if isinstance(self.backend, str):
+                _parse_spec(self.backend)  # raises BackendError on bad specs
+            elif not isinstance(self.backend, ExecutionBackend):
+                raise ValueError(
+                    f"backend must be None, one of {BACKEND_NAMES} (optionally "
+                    f"'process:N'), or an ExecutionBackend instance, got "
+                    f"{type(self.backend).__name__}"
+                )
         if self.load_balance != "off" and not tuple(self.balance_phases):
             raise ValueError(
                 f"conflicting knobs: load_balance={self.load_balance!r} needs "
@@ -227,6 +247,10 @@ class Simulation:
         cfg = self.config
         if cfg.perturbation is not None:
             machine.perturb(cfg.perturbation)
+        if cfg.backend is not None:
+            from repro.backend import resolve_backend
+
+            machine.attach_backend(resolve_backend(cfg.backend))
 
         self.particles, self.vel, owner = distribute(
             system,

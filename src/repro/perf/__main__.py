@@ -2,7 +2,7 @@
 
     PYTHONPATH=src python -m repro.perf [--quick] [--update-baseline]
         [--out BENCH_wallclock.json] [--baseline benchmarks/baseline_wallclock.json]
-        [--no-fig7] [--tolerance 0.25]
+        [--no-fig7] [--tolerance 0.25] [--backend process[:N]] [--workers N]
 
 Benches every vectorized kernel against its retained scalar oracle at the
 selected preset's call shapes, wall-times the Fig. 7 experiment end to end,
@@ -57,6 +57,20 @@ def main(argv=None) -> int:
         help="skip the end-to-end fig7 wall timing",
     )
     ap.add_argument(
+        "--backend",
+        default=None,
+        metavar="ENGINE",
+        help="additionally wall-time fig7 over an execution backend "
+        "('process' or 'process:N'); records per-backend wall and speedup",
+    )
+    ap.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for --backend process (shorthand for process:N)",
+    )
+    ap.add_argument(
         "--tolerance",
         type=float,
         default=GATE_TOLERANCE,
@@ -64,7 +78,15 @@ def main(argv=None) -> int:
     )
     args = ap.parse_args(argv)
 
-    report = build_report(args.quick, with_fig7=not args.no_fig7)
+    backend = args.backend
+    if args.workers is not None:
+        if backend is None:
+            ap.error("--workers requires --backend")
+        backend = f"{backend.partition(':')[0]}:{args.workers}"
+
+    report = build_report(
+        args.quick, with_fig7=not args.no_fig7, backend=backend
+    )
     write_json(args.out, report)
     print(f"wrote {args.out}")
 

@@ -337,17 +337,62 @@ def run_kernel_benches(quick: bool = False, verbose: bool = True) -> Dict[str, K
 # ----------------------------------------------------------------- end-to-end
 
 
-def run_fig7_wall(quick: bool = False, verbose: bool = True) -> Dict:
-    """Wall-time the Fig. 7 experiment end-to-end (modeled results unused)."""
+def run_fig7_wall(
+    quick: bool = False, verbose: bool = True, backend: Optional[str] = None
+) -> Dict:
+    """Wall-time the Fig. 7 experiment end-to-end (modeled results unused).
+
+    With ``backend`` (e.g. ``"process"`` / ``"process:4"``) the four
+    independent (solver, method) cells additionally run fanned out over the
+    engine's workers; the serial run is always measured as the speedup
+    reference, the two results are asserted equal, and the report carries
+    both timings plus ``host_cpus`` — a 1-core host cannot show a speedup
+    no matter the worker count, and the report must say so honestly.
+    """
+    import os
+
     from repro.bench.figures import fig7
 
     preset = "quick" if quick else "default"
     t0 = time.perf_counter_ns()
-    fig7(preset, quiet=True)
+    serial = fig7(preset, quiet=True)
     wall_ns = time.perf_counter_ns() - t0
     if verbose:
-        print(f"  fig7 --preset {preset}: {wall_ns / 1e9:.2f} s wall")
-    return {"preset": preset, "wall_ns": int(wall_ns), "wall_s": wall_ns / 1e9}
+        print(f"  fig7 --preset {preset}: {wall_ns / 1e9:.2f} s wall (serial)")
+    out = {
+        "preset": preset,
+        "wall_ns": int(wall_ns),
+        "wall_s": wall_ns / 1e9,
+        "host_cpus": os.cpu_count(),
+    }
+    if backend is not None:
+        from repro.backend import resolve_backend
+
+        engine = resolve_backend(backend)
+        engine_desc = f"{engine.name}:{engine.workers}" if engine.workers else engine.name
+        t0 = time.perf_counter_ns()
+        parallel = fig7(preset, quiet=True, backend=engine)
+        backend_ns = time.perf_counter_ns() - t0
+        if parallel != serial:
+            raise AssertionError(
+                f"fig7 under backend {engine_desc} diverged from the serial run"
+            )
+        speedup = wall_ns / backend_ns if backend_ns else float("inf")
+        out["backend"] = {
+            "engine": engine.name,
+            "workers": engine.workers,
+            "wall_ns": int(backend_ns),
+            "wall_s": backend_ns / 1e9,
+            "speedup_vs_serial": speedup,
+            "results_identical": True,
+        }
+        if verbose:
+            print(
+                f"  fig7 --preset {preset}: {backend_ns / 1e9:.2f} s wall "
+                f"({engine_desc}; {speedup:.2f}x vs serial on "
+                f"{out['host_cpus']} host cpu(s))"
+            )
+    return out
 
 
 def run_phase_profile(quick: bool = False, verbose: bool = True) -> Dict:
@@ -419,6 +464,7 @@ def build_report(
     *,
     with_fig7: bool = True,
     verbose: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict:
     preset = "quick" if quick else "default"
     if verbose:
@@ -435,7 +481,7 @@ def build_report(
         "kernels": {k: v.to_json() for k, v in kernels.items()},
     }
     if with_fig7:
-        report["fig7"] = run_fig7_wall(quick, verbose)
+        report["fig7"] = run_fig7_wall(quick, verbose, backend=backend)
     report["phase_profile"] = run_phase_profile(quick, verbose)
     return report
 

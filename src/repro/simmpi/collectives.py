@@ -125,8 +125,20 @@ def _charge_alltoall(
     )
 
 
-def _deliver(sends: Sequence[Dict[int, Payload]], nprocs: int) -> List[List[Tuple[int, Payload]]]:
-    """Move payloads: ``recv[j]`` is a source-ordered list of ``(src, payload)``."""
+def _deliver(
+    machine: Machine, sends: Sequence[Dict[int, Payload]]
+) -> List[List[Tuple[int, Payload]]]:
+    """Move payloads: ``recv[j]`` is a source-ordered list of ``(src, payload)``.
+
+    With an attached execution backend the payload bytes travel through it
+    (e.g. shared memory + worker processes); without one, the historical
+    in-process list shuffle runs inline.  Charging happened before this
+    point either way — delivery is pure data plane.
+    """
+    nprocs = machine.nprocs
+    backend = machine.backend
+    if backend is not None:
+        return backend.deliver(sends, nprocs)
     recv: List[List[Tuple[int, Payload]]] = [[] for _ in range(nprocs)]
     for src, targets in enumerate(sends):
         for dst, payload in targets.items():
@@ -171,7 +183,7 @@ def alltoallv(
     if machine.auditor is not None:
         machine.auditor.observe_alltoallv(sends, phase, count_exchange)
     _charge_alltoall(machine, sends, phase, count_exchange)
-    return _deliver(sends, machine.nprocs)
+    return _deliver(machine, sends)
 
 
 def neighborhood_alltoallv(

@@ -78,6 +78,12 @@ class Machine:
         #: optional :class:`~repro.simmpi.chaos.Perturbation` consulted when
         #: charging costs (never when moving data) — see :meth:`perturb`
         self.perturbation = None
+        #: optional :class:`~repro.backend.ExecutionBackend` hosting the
+        #: payload data plane (attach via :meth:`attach_backend`); ``None``
+        #: keeps the historical in-process delivery byte-identical.  The
+        #: backend only moves payload bytes — modeled charging never
+        #: consults it, so traces and clocks are backend-independent.
+        self.backend = None
         self._compute_factors: Optional[np.ndarray] = None
         self._comm_factors: Optional[np.ndarray] = None
         self._initial_clocks: Optional[np.ndarray] = None
@@ -86,6 +92,21 @@ class Machine:
         self._wall_anchor: Optional[tuple] = None
         if perturbation is not None:
             self.perturb(perturbation)
+
+    # -- execution backend ----------------------------------------------------
+
+    def attach_backend(self, backend) -> None:
+        """Route this machine's payload data plane through an
+        :class:`~repro.backend.ExecutionBackend`.
+
+        Only delivery is rerouted; every charge is still computed centrally
+        by this machine, which is what keeps traces, ledgers and state
+        fingerprints bitwise-identical across backends.  Pass ``None`` to
+        restore the historical in-process delivery.
+        """
+        if backend is not None and getattr(backend, "closed", False):
+            raise RuntimeError(f"cannot attach closed backend {backend!r}")
+        self.backend = backend
 
     # -- chaos harness --------------------------------------------------------
 

@@ -19,6 +19,16 @@ from repro.simmpi.machine import Machine
 __all__ = ["send_round", "exchange_pairs", "sendrecv"]
 
 
+def _route(machine: Machine, transfers: Sequence[Tuple[int, int, Payload]]):
+    """Ship a batch of ``(src, dst, payload)`` through the machine's
+    execution backend, or return the payloads as-is (the historical
+    in-process handoff).  Pure data plane: charging never happens here."""
+    backend = machine.backend
+    if backend is None:
+        return [payload for _src, _dst, payload in transfers]
+    return backend.route(transfers, machine.nprocs)
+
+
 def sendrecv(
     machine: Machine,
     src: int,
@@ -62,7 +72,7 @@ def sendrecv(
             phase, "sendrecv", t, float(before), float(machine.clocks.max()),
             1, nbytes, clocks_before, machine.clocks,
         )
-    return payload
+    return _route(machine, [(src, dst, payload)])[0]
 
 
 def send_round(
@@ -87,13 +97,14 @@ def send_round(
     total_bytes = 0
     # sends post first (non-blocking), receives complete afterwards
     arrivals: List[Tuple[int, float, Payload, int]] = []
-    for src, dst, payload in transfers:
+    delivered = _route(machine, transfers)
+    for (src, dst, payload), received in zip(transfers, delivered):
         src = machine.check_rank(src)
         dst = machine.check_rank(dst)
         nbytes = payload_nbytes(payload)
         if src == dst:
             machine.clocks[src] += float(model.copy_time(nbytes))
-            recv[dst].append((src, payload))
+            recv[dst].append((src, received))
             continue
         hops = int(machine.topology.hops(src, dst))
         send_done = machine.clocks[src] + model.overhead + float(model.copy_time(nbytes))
@@ -103,7 +114,7 @@ def send_round(
             - model.overhead
         )
         machine.clocks[src] = send_done
-        arrivals.append((dst, arrival, payload, src))
+        arrivals.append((dst, arrival, received, src))
         n_messages += 1
         total_bytes += nbytes
     for dst, arrival, payload, src in arrivals:
@@ -148,7 +159,12 @@ def exchange_pairs(
     out: Dict[Tuple[int, int], Tuple[Payload, Payload]] = {}
     n_messages = 0
     total_bytes = 0
-    for a, b, pa, pb in exchanges:
+    # both directions of every pair ship as one backend round
+    delivered = _route(
+        machine,
+        [m for a, b, pa, pb in exchanges for m in ((a, b, pa), (b, a, pb))],
+    )
+    for i, (a, b, pa, pb) in enumerate(exchanges):
         a = machine.check_rank(a)
         b = machine.check_rank(b)
         if a == b:
@@ -167,7 +183,7 @@ def exchange_pairs(
         arrive_at_a = post_b + float(model.msg_time(hops, bytes_ba)) * pair_factor - model.overhead
         machine.clocks[a] = max(post_a, arrive_at_a) + float(model.copy_time(bytes_ba))
         machine.clocks[b] = max(post_b, arrive_at_b) + float(model.copy_time(bytes_ab))
-        out[(a, b)] = (pb, pa)
+        out[(a, b)] = (delivered[2 * i + 1], delivered[2 * i])
         n_messages += 2
         total_bytes += bytes_ab + bytes_ba
     t = float(machine.clocks.max() - before)

@@ -138,6 +138,11 @@ class SPMDContext:
         nbytes = payload_nbytes(payload) if isinstance(payload, (np.ndarray, tuple, list)) else 64
         if rt.scheduler is not None:
             rt.scheduler.maybe_yield()
+        # with an execution backend the payload bytes travel as a transport
+        # ticket (e.g. a shared-memory segment); the mailbox only holds the
+        # claim.  Posted before taking the runtime lock — encoding is pure.
+        if machine.backend is not None:
+            payload = machine.backend.post_ticket(payload)
         with rt.lock:
             self._raise_if_failed()
             model = machine.model
@@ -218,6 +223,8 @@ class SPMDContext:
                             float(machine.clocks.max()),
                         )
                     rt.lock.notify_all()
+                    if machine.backend is not None:
+                        payload = machine.backend.claim_ticket(payload)
                     return payload
                 rt.blocked[self.rank] = (src, tag)
                 rt.check_deadlock()
@@ -365,8 +372,17 @@ def run_spmd(
         t = threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True)
         threads.append(t)
         t.start()
-    for t in threads:
-        t.join()
+    try:
+        for t in threads:
+            t.join()
+    finally:
+        if machine.backend is not None:
+            # failed/deadlocked runs leave unclaimed tickets behind; release
+            # their transport resources (shared-memory segments)
+            for box in rt.mailboxes:
+                for _src, _tag, ticket, _arrival in box:
+                    machine.backend.discard_ticket(ticket)
+                box.clear()
     if rt.failed is not None:
         raise rt.failed
     return results

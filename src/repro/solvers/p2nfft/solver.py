@@ -50,6 +50,17 @@ from repro.solvers.p2nfft.tuning import (
 __all__ = ["P2NFFTSolver", "ghost_distribution", "charge_parallel_fft"]
 
 
+def _near_rank_task(near, tpos, spos, sq):
+    """One rank's near-field evaluation, as an execution-backend task.
+
+    Top-level so worker processes can import it by dotted path; ``near``
+    (the shared :class:`LinkedCellNearField` geometry) ships once per
+    fan-out.  Pure and deterministic — backend results are bitwise those of
+    calling ``near.compute`` inline.
+    """
+    return near.compute(tpos, spos, sq)
+
+
 def ghost_distribution(
     grid: CartGrid,
     pos: np.ndarray,
@@ -310,15 +321,35 @@ class P2NFFTSolver(Solver):
             float(sum(new_counts)) / float(np.prod(self.box))
             * (4.0 / 3.0) * np.pi * self.rc ** 3
         )
+        backend = machine.backend
+        if self.compute_mode != "skip" and backend is not None and backend.workers:
+            # each rank's near field is an independent pure computation over
+            # its owned + ghost particles — fan it out to the rank-owning
+            # workers.  The task is deterministic, so results (and the pair
+            # counts feeding the cost model) are bitwise those of the
+            # sequential loop below.
+            near_results = backend.rank_map(
+                "repro.solvers.p2nfft.solver._near_rank_task",
+                [
+                    (owned[r]["pos"], local_all[r]["pos"], local_all[r]["q"])
+                    for r in range(P)
+                ],
+                shared=self.near,
+            )
+        else:
+            near_results = None
         for r in range(P):
             if self.compute_mode == "skip":
                 pots.append(np.zeros(owned[r].n))
                 fields.append(np.zeros((owned[r].n, 3)))
                 near_cost[r] = kernels.ERFC_PAIR * owned[r].n * pair_density
             else:
-                pot_n, field_n, pairs = self.near.compute(
-                    owned[r]["pos"], local_all[r]["pos"], local_all[r]["q"]
-                )
+                if near_results is not None:
+                    pot_n, field_n, pairs = near_results[r]
+                else:
+                    pot_n, field_n, pairs = self.near.compute(
+                        owned[r]["pos"], local_all[r]["pos"], local_all[r]["q"]
+                    )
                 pots.append(pot_n)
                 fields.append(field_n)
                 near_cost[r] = kernels.ERFC_PAIR * pairs

@@ -71,6 +71,16 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rtol", type=float, default=1e-6, help="relative state-agreement tolerance"
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="ENGINE",
+        help=(
+            "execution backend hosting the payload data plane "
+            "('inprocess', 'process' or 'process:N'); results are "
+            "backend-independent by contract"
+        ),
+    )
     return parser
 
 
@@ -176,6 +186,15 @@ def _dst_parser() -> argparse.ArgumentParser:
             "--steps counts continuation steps"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="ENGINE",
+        help=(
+            "execution backend for every trajectory ('inprocess', 'process' "
+            "or 'process:N'); fingerprints and ledgers must not move"
+        ),
+    )
     return parser
 
 
@@ -228,6 +247,7 @@ def main_dst(argv: List[str]) -> int:
         obs_export_dir=args.obs_export_dir,
         kill_at=args.kill_at,
         ckpt_dir=args.ckpt_dir,
+        backend=args.backend,
         progress=print,
     )
     print(report.summary())
@@ -280,6 +300,7 @@ def main(argv: List[str] | None = None) -> int:
         n_particles=particles,
         seed=args.seed,
         rtol=args.rtol,
+        backend=args.backend,
     )
     failed = 0
     checks = 0

@@ -104,12 +104,15 @@ def run_trajectory(
     audit: bool = True,
     check_invariants: bool = True,
     solver_kwargs: Optional[dict] = None,
+    backend: Optional[str] = None,
 ) -> TrajectoryResult:
     """Run one seeded MD trajectory and return its observable state.
 
     The system, seed, step count and dynamics are identical for every
     method; only the redistribution transport differs — which is exactly
-    what the differential comparison isolates.
+    what the differential comparison isolates.  ``backend`` optionally
+    hosts the payload data plane on an execution engine ("process" /
+    "process:N"); observable state is backend-independent.
     """
     machine = Machine(nprocs)
     system = silica_melt_system(n_particles, seed=seed)
@@ -120,6 +123,7 @@ def run_trajectory(
         seed=seed,
         track_energy=True,
         solver_kwargs=dict(solver_kwargs or {}),
+        backend=backend,
     )
     sim = Simulation(machine, system, config)
     auditor = enable_auditing(machine) if audit else None
@@ -226,6 +230,7 @@ def differential_check(
     methods: Sequence[str] = METHODS,
     raise_on_failure: bool = False,
     solver_kwargs: Optional[dict] = None,
+    backend: Optional[str] = None,
 ) -> DifferentialReport:
     """Run the same seeded trajectory under every method and cross-check.
 
@@ -250,6 +255,7 @@ def differential_check(
             seed=seed,
             distribution=distribution,
             solver_kwargs=solver_kwargs,
+            backend=backend,
         )
 
     failures: List[str] = []
@@ -298,6 +304,7 @@ def sweep(
     distribution: str = "random",
     rtol: float = 1e-6,
     atol: float = 1e-9,
+    backend: Optional[str] = None,
 ) -> List[DifferentialReport]:
     """Run :func:`differential_check` over the (solver, shape) grid."""
     reports = []
@@ -313,6 +320,7 @@ def sweep(
                     distribution=distribution,
                     rtol=rtol,
                     atol=atol,
+                    backend=backend,
                 )
             )
     return reports

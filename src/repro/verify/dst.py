@@ -201,6 +201,7 @@ def _run_cell(
     obs_meta: Optional[Dict[str, object]] = None,
     kill_at: Optional[int] = None,
     ckpt_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> _Reference:
     """Run one trajectory; check against ``reference`` when given.
 
@@ -237,6 +238,10 @@ def _run_cell(
             f"kill_at must be within 0..steps ({steps}), got {kill_at!r}"
         )
     machine = Machine(nprocs)
+    if backend is not None:
+        from repro.backend import resolve_backend
+
+        machine.attach_backend(resolve_backend(backend))
     recorder = None
     if obs_export_path is not None:
         from repro.obs import enable_observability
@@ -302,6 +307,10 @@ def _run_cell(
             ckpt = capture_checkpoint(sim)
         sim.fcs.destroy()
         machine = Machine(nprocs)
+        if backend is not None:
+            from repro.backend import resolve_backend
+
+            machine.attach_backend(resolve_backend(backend))
         if recorder is not None:
             from repro.obs import enable_observability
 
@@ -446,6 +455,7 @@ def run_dst(
     obs_export_dir: Optional[str] = None,
     kill_at: Optional[int] = None,
     ckpt_dir: Optional[str] = None,
+    backend: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> DstReport:
     """Sweep every (solver, method, distribution) cell under ``seeds``
@@ -465,6 +475,11 @@ def run_dst(
     (written under ``ckpt_dir`` when given, else in-memory); the resumed
     trajectory is still held to the uninterrupted reference's fingerprints
     and ledger — the chaos-resume property.
+    ``backend`` routes every trajectory's payload data plane through the
+    named execution engine (``"process"`` / ``"process:N"``); fingerprints
+    and ledgers are backend-independent, so the sweep's assertions are
+    unchanged — running it under the process engine differentially tests
+    the shared-memory transport against the chaos schedules.
     """
     say = progress if progress is not None else (lambda msg: None)
     chosen = list(seed_list) if seed_list is not None else list(range(1, seeds + 1))
@@ -498,6 +513,7 @@ def run_dst(
                     distribution=distribution,
                     obs_export_path=obs_path(solver, method, distribution, 0),
                     obs_meta={"chaos_seed": 0},
+                    backend=backend,
                 )
                 trajectories += 1
                 for seed in chosen:
@@ -519,6 +535,7 @@ def run_dst(
                             obs_meta={"chaos_seed": seed},
                             kill_at=kill_at,
                             ckpt_dir=ckpt_dir,
+                            backend=backend,
                         )
                     except SPMDDeadlock as exc:
                         failures.append(

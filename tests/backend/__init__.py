@@ -1,0 +1,3 @@
+# package marker: keeps tests/backend off sys.path so this directory's
+# conftest.py cannot shadow tests/conftest.py for the suites that do
+# `from conftest import ...` (pytest then imports us as backend.*)
