@@ -484,6 +484,16 @@ def capture_checkpoint(sim, *, thermostat=None) -> Checkpoint:
                 k: {"messages": v.messages, "bytes": v.bytes}
                 for k, v in raw["plan_ledger"].items()
             },
+            "algo_ledger": {
+                k: {"messages": v.messages, "bytes": v.bytes}
+                for k, v in raw["algo_ledger"].items()
+            },
+            "algo_round_ledger": {
+                k: {"messages": v.messages, "bytes": v.bytes}
+                for k, v in raw["algo_round_ledger"].items()
+            },
+            "algo_counts": dict(raw["algo_counts"]),
+            "n_algo_calls": raw["n_algo_calls"],
             "trace_baseline": _phases_to_plain(raw["trace_baseline"]),
             "pending_sends": [list(t) for t in raw["pending_sends"]],
             "violations": raw["violations"],
@@ -623,6 +633,20 @@ def restore_auditor_state(auditor_plain: Dict[str, Any]) -> Dict[str, Any]:
             k: PhaseLedger(messages=int(v["messages"]), bytes=int(v["bytes"]))
             for k, v in auditor_plain.get("plan_ledger", {}).items()
         },
+        # algo ledgers appeared with the staged collective engines; old
+        # checkpoints simply have none
+        "algo_ledger": {
+            k: PhaseLedger(messages=int(v["messages"]), bytes=int(v["bytes"]))
+            for k, v in auditor_plain.get("algo_ledger", {}).items()
+        },
+        "algo_round_ledger": {
+            k: PhaseLedger(messages=int(v["messages"]), bytes=int(v["bytes"]))
+            for k, v in auditor_plain.get("algo_round_ledger", {}).items()
+        },
+        "algo_counts": {
+            k: int(v) for k, v in auditor_plain.get("algo_counts", {}).items()
+        },
+        "n_algo_calls": int(auditor_plain.get("n_algo_calls", 0)),
         "trace_baseline": _plain_to_phases(auditor_plain.get("trace_baseline", {})),
         "pending_sends": [tuple(t) for t in auditor_plain.get("pending_sends", [])],
         "violations": list(auditor_plain.get("violations", [])),

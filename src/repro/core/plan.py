@@ -33,6 +33,13 @@ Plans carry their own statistics (:class:`ResortPlanStats`) and report them
 into the machine trace counters (``resort_plan.*``) and, when a
 :class:`~repro.verify.audit.CommAuditor` is attached, into the auditor's
 independent plan ledger so the savings are observable *and* cross-checked.
+
+Plan executions call :func:`~repro.simmpi.collectives.alltoallv` and hence
+compose with the staged collective-algorithm engines
+(:mod:`repro.simmpi.algos`): under e.g. ``alltoallv=bruck`` the fused byte
+records route through the staged rounds, still with ``count_exchange=
+"cached"`` (the plan's cached counts spare even the staged engines their
+dense count exchange), and the delivered records stay bitwise identical.
 """
 
 from __future__ import annotations

@@ -112,6 +112,14 @@ class SimulationConfig:
     #: traces, ledgers and state fingerprints are backend-independent
     #: (see ``docs/backends.md``)
     backend: object = None
+    #: collective-algorithm spec (:func:`repro.simmpi.algos.parse_algos`
+    #: grammar, e.g. ``"bruck"`` or ``"alltoallv=pairwise+allreduce=
+    #: binomial-tree"``): routes the named collectives through staged
+    #: algorithm engines instead of the direct one-shot model.  Recv
+    #: payloads are bitwise-identical by contract; only modeled clocks and
+    #: message/byte counts move (see ``docs/collectives.md``).  ``None`` or
+    #: ``"direct"`` keeps the default direct path everywhere.
+    collective_algos: Optional[str] = None
 
     def __post_init__(self) -> None:
         """Reject unknown or conflicting knobs up front.
@@ -195,6 +203,10 @@ class SimulationConfig:
                     f"'process:N'), or an ExecutionBackend instance, got "
                     f"{type(self.backend).__name__}"
                 )
+        if self.collective_algos is not None:
+            from repro.simmpi.algos import parse_algos
+
+            parse_algos(self.collective_algos)  # raises ValueError on bad specs
         if self.load_balance != "off" and not tuple(self.balance_phases):
             raise ValueError(
                 f"conflicting knobs: load_balance={self.load_balance!r} needs "
@@ -251,6 +263,8 @@ class Simulation:
             from repro.backend import resolve_backend
 
             machine.attach_backend(resolve_backend(cfg.backend))
+        if cfg.collective_algos is not None:
+            machine.set_collective_algos(cfg.collective_algos)
 
         self.particles, self.vel, owner = distribute(
             system,

@@ -3,6 +3,7 @@
     PYTHONPATH=src python -m repro.perf [--quick] [--update-baseline]
         [--out BENCH_wallclock.json] [--baseline benchmarks/baseline_wallclock.json]
         [--no-fig7] [--tolerance 0.25] [--backend process[:N]] [--workers N]
+        [--algos SPEC]
 
 Benches every vectorized kernel against its retained scalar oracle at the
 selected preset's call shapes, wall-times the Fig. 7 experiment end to end,
@@ -71,6 +72,14 @@ def main(argv=None) -> int:
         help="worker count for --backend process (shorthand for process:N)",
     )
     ap.add_argument(
+        "--algos",
+        default=None,
+        metavar="SPEC",
+        help="run the phase profile with staged collective algorithms "
+        "(repro.simmpi.algos spec, e.g. 'bruck' or 'alltoallv=pairwise'); "
+        "fig7 and the kernel gates always run at the direct baseline",
+    )
+    ap.add_argument(
         "--tolerance",
         type=float,
         default=GATE_TOLERANCE,
@@ -85,7 +94,7 @@ def main(argv=None) -> int:
         backend = f"{backend.partition(':')[0]}:{args.workers}"
 
     report = build_report(
-        args.quick, with_fig7=not args.no_fig7, backend=backend
+        args.quick, with_fig7=not args.no_fig7, backend=backend, algos=args.algos
     )
     write_json(args.out, report)
     print(f"wrote {args.out}")

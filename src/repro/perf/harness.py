@@ -395,7 +395,9 @@ def run_fig7_wall(
     return out
 
 
-def run_phase_profile(quick: bool = False, verbose: bool = True) -> Dict:
+def run_phase_profile(
+    quick: bool = False, verbose: bool = True, algos: Optional[str] = None
+) -> Dict:
     """Modeled seconds vs host wall seconds per simulated phase.
 
     Runs a short method-B P2NFFT trajectory (the Fig. 7 configuration at
@@ -403,6 +405,12 @@ def run_phase_profile(quick: bool = False, verbose: bool = True) -> Dict:
     the returned profile carries, per phase, the modeled virtual-clock
     seconds next to the attributed host nanoseconds and net allocated
     bytes — the tentpole observability deliverable.
+
+    ``algos`` routes the trajectory's collectives through the named staged
+    algorithm engines (:mod:`repro.simmpi.algos` spec grammar), shifting the
+    modeled phase seconds; physics and host wall attribution semantics are
+    unchanged.  The fig7 experiment never takes this knob — its serial-vs-
+    backend identity assertion is baseline-gated.
     """
     from repro.bench.harness import PRESETS, make_machine, make_system
     from repro.md.simulation import Simulation, SimulationConfig
@@ -421,6 +429,7 @@ def run_phase_profile(quick: bool = False, verbose: bool = True) -> Dict:
         dynamics="brownian",
         brownian_step=0.005 * subdomain,
         solver_kwargs={"compute": "skip"},
+        collective_algos=algos,
     )
     with instrument.collect(trace_alloc=True) as registry:
         with instrument.wall_phases():
@@ -450,6 +459,7 @@ def run_phase_profile(quick: bool = False, verbose: bool = True) -> Dict:
             "n": scale.n,
             "nprocs": scale.nprocs,
             "steps": steps,
+            "collective_algos": algos or "direct",
         },
         "phases": phases,
         "recorded_kernels": kernels,
@@ -465,6 +475,7 @@ def build_report(
     with_fig7: bool = True,
     verbose: bool = True,
     backend: Optional[str] = None,
+    algos: Optional[str] = None,
 ) -> Dict:
     preset = "quick" if quick else "default"
     if verbose:
@@ -482,7 +493,7 @@ def build_report(
     }
     if with_fig7:
         report["fig7"] = run_fig7_wall(quick, verbose, backend=backend)
-    report["phase_profile"] = run_phase_profile(quick, verbose)
+    report["phase_profile"] = run_phase_profile(quick, verbose, algos=algos)
     return report
 
 

@@ -22,8 +22,16 @@ ScaFaCoS library: ``alltoallv`` (fine-grained data redistribution),
 point-to-point ``sendrecv`` rounds (merge-exchange sorting, neighborhood
 exchange), ``allgatherv`` (splitter selection), ``allreduce`` (max-movement
 determination) and so on.
+
+Each collective can optionally run through a *staged algorithm engine*
+(:mod:`repro.simmpi.algos` — pairwise/Bruck alltoallv, ring/recursive-doubling
+allgatherv, tree/recursive-halving allreduce, binomial rooted trees) that
+routes the same payloads through explicit point-to-point rounds with per-hop
+topology charging; recv payloads are bitwise-identical to the direct model by
+contract, only the modeled clocks and message counts differ.
 """
 
+from repro.simmpi.algos import ALGO_CHOICES, CollectiveAlgos, parse_algos
 from repro.simmpi.chaos import MailboxScheduler, Perturbation
 from repro.simmpi.costmodel import CostModel, SystemProfile, JUROPA, JUQUEEN, LOCAL
 from repro.simmpi.machine import Machine
@@ -38,7 +46,9 @@ from repro.simmpi.cart import CartGrid, dims_create
 from repro.simmpi.spmd import SPMDContext, SPMDDeadlock, run_spmd
 
 __all__ = [
+    "ALGO_CHOICES",
     "CartGrid",
+    "CollectiveAlgos",
     "CostModel",
     "FatTreeTopology",
     "JUQUEEN",
@@ -56,4 +66,5 @@ __all__ = [
     "TorusTopology",
     "Trace",
     "dims_create",
+    "parse_algos",
 ]

@@ -211,7 +211,15 @@ class Perturbation:
         return rng.uniform(0.0, self.clock_skew, nprocs)
 
     def effective_model(self, model: CostModel) -> CostModel:
-        """The cost model with the global link/latency degradations applied."""
+        """The cost model with the global link/latency degradations applied.
+
+        The machine keeps the *unperturbed* model around as
+        ``Machine.nominal_model``: decision logic that must stay
+        schedule-independent — notably the ``algo="auto"`` collective-
+        algorithm selector (:func:`repro.simmpi.algos.resolve`) — reads the
+        nominal constants, so a chaos seed can stretch the clocks but never
+        change *which* algorithm runs.
+        """
         return model.perturbed(
             extra_overhead=self.extra_latency,
             bandwidth_factor=1.0 - self.bandwidth_degradation,

@@ -20,6 +20,31 @@ non-empty blocks.  ``count_exchange="sparse"`` models the neighborhood
 variant (Sect. III-B) where the communication structure is known a priori
 and the dense count exchange is skipped — this is the primitive whose cost
 advantage produces the Fig. 9 (right) crossover.
+
+Algorithm engines
+-----------------
+By default every collective charges one closed-form LogGP formula (the
+``direct`` algorithm — byte-identical to the historical behavior).  With
+:meth:`Machine.set_collective_algos
+<repro.simmpi.machine.Machine.set_collective_algos>` the collectives route
+through the staged per-algorithm engines of :mod:`repro.simmpi.algos`
+(pairwise/Bruck alltoallv, ring/recursive-doubling allgatherv,
+binomial-tree/recursive-halving-doubling allreduce, binomial trees for the
+rooted collectives) which ship the same real data through explicit
+:func:`~repro.simmpi.p2p.send_round` rounds with per-hop charging.  Every
+algorithm returns bitwise-identical payloads; only modeled clocks and
+message/byte totals differ.
+
+Delivery aliasing contract
+--------------------------
+Payloads are delivered *by reference* under the default in-process data
+plane (the received array **is** the sender's array object) and as fresh
+decoded copies under a process backend — except self-sends, which return
+the original object on every backend (MPI self-send semantics).  Receivers
+therefore MUST NOT mutate received payloads in place; doing so corrupts
+sender state under the in-process engine only and is exactly the class of
+bug the cross-backend differential tests exist to catch.  Treat every
+received payload as read-only and copy before writing.
 """
 
 from __future__ import annotations
@@ -54,6 +79,36 @@ def payload_nbytes(payload: Payload) -> int:
     if isinstance(payload, (tuple, list)):
         return sum(p.nbytes for p in payload)
     raise TypeError(f"unsupported payload type {type(payload)!r}")
+
+
+def _validate_sends(nprocs: int, sends: Sequence[Dict[int, Payload]]) -> None:
+    """Reject invalid destination ranks *before* any auditing or charging.
+
+    Both execution backends must raise the same ``ValueError`` with no
+    auditor ledger entry and no clock movement for a rejected call —
+    historically only the in-process delivery loop checked targets, after
+    the auditor had observed the sends and costs were charged.
+    """
+    for src, targets in enumerate(sends):
+        for dst in targets:
+            if not 0 <= dst < nprocs:
+                raise ValueError(f"rank {src} sends to invalid rank {dst}")
+
+
+def _algo_for(machine: Machine, collective: str) -> Optional[str]:
+    """The configured non-direct algorithm for ``collective``, or ``None``.
+
+    ``None`` keeps the historical closed-form path (and is the only
+    possibility when no :class:`~repro.simmpi.algos.CollectiveAlgos` is
+    attached, or on a single-rank machine where no algorithm stages any
+    message).  The returned name may still be ``"auto"``; the caller
+    resolves it per call.
+    """
+    algos = machine.collective_algos
+    if algos is None or machine.nprocs == 1:
+        return None
+    algo = getattr(algos, collective)
+    return None if algo == "direct" else algo
 
 
 def _charge_alltoall(
@@ -134,6 +189,14 @@ def _deliver(
     (e.g. shared memory + worker processes); without one, the historical
     in-process list shuffle runs inline.  Charging happened before this
     point either way — delivery is pure data plane.
+
+    Aliasing contract (see the module docstring): in-process delivery hands
+    the receiver a *reference* to the sender's payload object; a process
+    backend decodes fresh copies for inter-rank messages and returns the
+    original object for self-sends.  Receivers must treat payloads as
+    read-only.  Destination validation happened in :func:`_validate_sends`
+    before any auditing or charging; the check here is defensive only (it
+    guards direct callers of the backend protocol).
     """
     nprocs = machine.nprocs
     backend = machine.backend
@@ -180,6 +243,17 @@ def alltoallv(
     """
     if len(sends) != machine.nprocs:
         raise ValueError(f"sends has {len(sends)} entries, machine has {machine.nprocs} ranks")
+    _validate_sends(machine.nprocs, sends)
+    algo = _algo_for(machine, "alltoallv")
+    if algo is not None:
+        from repro.simmpi import algos as _algos
+
+        resolved = _algos.resolve(machine, "alltoallv", algo, sends=sends)
+        _algos.record_choice(machine, "alltoallv", resolved)
+        if resolved != "direct":
+            return _algos.alltoallv_staged(
+                machine, sends, phase, count_exchange=count_exchange, algo=resolved
+            )
     if machine.auditor is not None:
         machine.auditor.observe_alltoallv(sends, phase, count_exchange)
     _charge_alltoall(machine, sends, phase, count_exchange)
@@ -217,6 +291,14 @@ def allgatherv(
         raise ValueError(f"{len(contributions)} contributions for {P} ranks")
     arrays = [np.ascontiguousarray(a) for a in contributions]
     total_bytes = float(sum(a.nbytes for a in arrays))
+    algo = _algo_for(machine, "allgatherv")
+    if algo is not None:
+        from repro.simmpi import algos as _algos
+
+        resolved = _algos.resolve(machine, "allgatherv", algo, nbytes=total_bytes)
+        _algos.record_choice(machine, "allgatherv", resolved)
+        if resolved != "direct":
+            return _algos.allgatherv_staged(machine, arrays, phase, resolved)
     machine.synchronize()
     t = machine.model.tree_collective_time(P, 0.0, machine.topology.diameter())
     t += (P - 1) / max(P, 1) * total_bytes / machine.model.bandwidth if P > 1 else 0.0
@@ -260,11 +342,24 @@ def allreduce(
 
     ``values`` is a length-``nprocs`` sequence of scalars or equal-shape
     arrays (one per rank).
+
+    Integer inputs (every rank contributing a signed/unsigned integer
+    dtype) reduce **exactly** in their promoted integer dtype and the
+    result preserves it — no round trip through ``float64``, which silently
+    rounds values above ``2**53``.  Scalar integer reductions return a
+    NumPy integer scalar; everything else keeps the historical float path
+    bitwise-identical.
     """
     P = machine.nprocs
     if len(values) != P:
         raise ValueError(f"{len(values)} values for {P} ranks")
-    stacked = np.asarray([np.asarray(v, dtype=np.float64) for v in values])
+    as_given = [np.asarray(v) for v in values]
+    int_exact = all(a.dtype.kind in "iu" for a in as_given)
+    if int_exact:
+        work_dtype = np.result_type(*as_given)
+        stacked = np.asarray([a.astype(work_dtype, copy=False) for a in as_given])
+    else:
+        stacked = np.asarray([np.asarray(v, dtype=np.float64) for v in values])
     if op == "sum":
         result = stacked.sum(axis=0)
     elif op == "max":
@@ -273,7 +368,30 @@ def allreduce(
         result = stacked.min(axis=0)
     else:
         raise ValueError(f"unsupported op {op!r}")
-    item_bytes = float(np.asarray(values[0], dtype=np.float64).nbytes)
+    if int_exact:
+        item_bytes = float(stacked[0].nbytes)
+    else:
+        item_bytes = float(np.asarray(values[0], dtype=np.float64).nbytes)
+    algo = _algo_for(machine, "allreduce")
+    if algo is not None:
+        from repro.simmpi import algos as _algos
+
+        resolved = _algos.resolve(machine, "allreduce", algo, nbytes=item_bytes)
+        _algos.record_choice(machine, "allreduce", resolved)
+        if resolved != "direct":
+            # the staged engine only models (and really ships) the traffic;
+            # the result stays the canonical rank-ordered reduction above,
+            # because a tree reduction would reassociate float sums
+            vecs = [
+                np.ascontiguousarray(np.atleast_1d(stacked[i])) for i in range(P)
+            ]
+            _algos.allreduce_staged(
+                machine, vecs, np.ascontiguousarray(np.atleast_1d(result)),
+                phase, resolved,
+            )
+            if result.ndim == 0:
+                return result[()] if int_exact else float(result)
+            return result
     machine.synchronize()
     t = machine.model.tree_collective_time(P, item_bytes, machine.topology.diameter())
     t *= machine.comm_factor()
@@ -283,7 +401,7 @@ def allreduce(
         )
     machine.advance(t, phase, messages=2 * max(0, P - 1), nbytes=int(item_bytes) * 2 * max(0, P - 1), op="allreduce")
     if result.ndim == 0:
-        return float(result)
+        return result[()] if int_exact else float(result)
     return result
 
 
@@ -297,6 +415,15 @@ def bcast(
     machine.check_rank(root)
     P = machine.nprocs
     arr = np.asarray(value)
+    algo = _algo_for(machine, "bcast")
+    if algo is not None:
+        from repro.simmpi import algos as _algos
+
+        resolved = _algos.resolve(machine, "bcast", algo, nbytes=float(arr.nbytes))
+        _algos.record_choice(machine, "bcast", resolved)
+        if resolved != "direct":
+            _algos.bcast_staged(machine, arr, root, phase, resolved)
+            return [np.array(arr, copy=True) if arr.ndim else value for _ in range(P)]
     machine.synchronize()
     t = machine.model.tree_collective_time(P, float(arr.nbytes), machine.topology.diameter())
     t *= machine.comm_factor()
@@ -319,6 +446,20 @@ def gatherv(
         raise ValueError(f"{len(contributions)} contributions for {P} ranks")
     arrays = [np.ascontiguousarray(a) for a in contributions]
     total_bytes = float(sum(a.nbytes for i, a in enumerate(arrays) if i != root))
+    algo = _algo_for(machine, "gatherv")
+    if algo is not None:
+        from repro.simmpi import algos as _algos
+
+        resolved = _algos.resolve(machine, "gatherv", algo, nbytes=total_bytes)
+        _algos.record_choice(machine, "gatherv", resolved)
+        if resolved != "direct":
+            _algos.gatherv_staged(machine, arrays, root, phase, resolved)
+            result = [
+                np.empty((0,) + arrays[0].shape[1:], dtype=arrays[0].dtype)
+                for _ in range(P)
+            ]
+            result[root] = np.concatenate(arrays) if arrays else np.empty(0)
+            return result
     machine.synchronize()
     # root serializes P-1 receives; senders each pay one message
     model = machine.model
@@ -358,6 +499,15 @@ def scatterv(
         raise ValueError(f"{len(parts)} parts for {P} ranks")
     arrays = [np.ascontiguousarray(a) for a in parts]
     total_bytes = float(sum(a.nbytes for i, a in enumerate(arrays) if i != root))
+    algo = _algo_for(machine, "scatterv")
+    if algo is not None:
+        from repro.simmpi import algos as _algos
+
+        resolved = _algos.resolve(machine, "scatterv", algo, nbytes=total_bytes)
+        _algos.record_choice(machine, "scatterv", resolved)
+        if resolved != "direct":
+            _algos.scatterv_staged(machine, arrays, root, phase, resolved)
+            return [a.copy() for a in arrays]
     machine.synchronize()
     model = machine.model
     per_rank = np.zeros(P)

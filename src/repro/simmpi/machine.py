@@ -65,6 +65,12 @@ class Machine:
                 f"topology built for {self.topology.nprocs} ranks, machine has {self.nprocs}"
             )
         self.model = cost_model if cost_model is not None else CostModel()
+        #: the *pre-perturbation* cost model.  :meth:`perturb` swaps
+        #: :attr:`model` for a degraded one; schedule-independent decisions
+        #: (the ``auto`` collective-algorithm selector in
+        #: :mod:`repro.simmpi.algos`) must read this one so they cannot
+        #: depend on the chaos seed.
+        self.nominal_model = self.model
         self.clocks = np.zeros(self.nprocs, dtype=np.float64)
         self.trace = Trace()
         #: optional :class:`~repro.verify.audit.CommAuditor` observing every
@@ -84,6 +90,11 @@ class Machine:
         #: backend only moves payload bytes — modeled charging never
         #: consults it, so traces and clocks are backend-independent.
         self.backend = None
+        #: optional :class:`~repro.simmpi.algos.CollectiveAlgos` selecting
+        #: per-collective algorithm engines (attach via
+        #: :meth:`set_collective_algos`); ``None`` keeps every collective on
+        #: the historical closed-form ``direct`` path byte-identically.
+        self.collective_algos = None
         self._compute_factors: Optional[np.ndarray] = None
         self._comm_factors: Optional[np.ndarray] = None
         self._initial_clocks: Optional[np.ndarray] = None
@@ -107,6 +118,25 @@ class Machine:
         if backend is not None and getattr(backend, "closed", False):
             raise RuntimeError(f"cannot attach closed backend {backend!r}")
         self.backend = backend
+
+    # -- collective algorithm engines -----------------------------------------
+
+    def set_collective_algos(self, algos) -> None:
+        """Select per-collective algorithm engines for this machine.
+
+        ``algos`` is a spec string (see
+        :func:`repro.simmpi.algos.parse_algos`), a
+        :class:`~repro.simmpi.algos.CollectiveAlgos` instance, or ``None``
+        to restore the default ``direct`` path.  Only future collective
+        calls are affected; specs resolving to all-``direct`` store
+        ``None`` so the default path stays zero-overhead.
+        """
+        if algos is None:
+            self.collective_algos = None
+            return
+        from repro.simmpi.algos import parse_algos
+
+        self.collective_algos = parse_algos(algos)
 
     # -- chaos harness --------------------------------------------------------
 

@@ -79,12 +79,18 @@ def send_round(
     machine: Machine,
     transfers: Sequence[Tuple[int, int, Payload]],
     phase: Optional[str] = None,
+    *,
+    op: str = "send_round",
 ) -> List[List[Tuple[int, Payload]]]:
     """A round of independent messages ``(src, dst, payload)``.
 
     Messages from the same source are serialized (one NIC per rank);
     messages to the same destination are serialized on receive.  Returns
     ``recv[j]`` as source-sorted ``(src, payload)`` pairs.
+
+    ``op`` names the charging primitive in the span stream; the staged
+    collective engines (:mod:`repro.simmpi.algos`) tag their rounds with
+    the owning algorithm (e.g. ``"alltoallv.bruck"``).
     """
     model = machine.model
     if machine.auditor is not None:
@@ -129,7 +135,7 @@ def send_round(
     machine.trace.record(phase, time=t, messages=n_messages, nbytes=total_bytes)
     if obs is not None:
         obs.on_charge(
-            phase, "send_round", t, float(before), float(machine.clocks.max()),
+            phase, op, t, float(before), float(machine.clocks.max()),
             n_messages, total_bytes, clocks_before, machine.clocks,
         )
     return recv

@@ -195,6 +195,18 @@ def _dst_parser() -> argparse.ArgumentParser:
             "or 'process:N'); fingerprints and ledgers must not move"
         ),
     )
+    parser.add_argument(
+        "--algos",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "collective-algorithm specs to sweep (repro.simmpi.algos "
+            "grammar, e.g. 'bruck' or 'alltoallv=pairwise+allreduce="
+            "binomial-tree'); each spec gets its own reference schedule; "
+            "comma-separated tokens expand into multiple specs"
+        ),
+    )
     return parser
 
 
@@ -234,6 +246,16 @@ def main_dst(argv: List[str]) -> int:
     solvers = args.solvers or list(DEFAULT_SOLVERS)
     methods = args.methods or list(DEFAULT_METHODS)
     distributions = args.distributions or list(DEFAULT_DISTRIBUTIONS)
+    algos = None
+    if args.algos:
+        # "--algos bruck,pairwise" sweeps two specs; '+' combines
+        # collectives within one spec
+        algos = [
+            None if spec == "direct" else spec
+            for token in args.algos
+            for spec in token.split(",")
+            if spec
+        ]
     report = run_dst(
         solvers,
         methods,
@@ -248,6 +270,7 @@ def main_dst(argv: List[str]) -> int:
         kill_at=args.kill_at,
         ckpt_dir=args.ckpt_dir,
         backend=args.backend,
+        algos=algos,
         progress=print,
     )
     print(report.summary())

@@ -169,6 +169,23 @@ class CommAuditor:
         self.n_plan_compiles = 0
         self.n_plan_executions = 0
         self.n_plan_fused_columns = 0
+        #: per-phase staged-collective totals *as planned by the algorithm
+        #: engines themselves* (:mod:`repro.simmpi.algos`) before their
+        #: rounds run — derived from the schedule alone.  The
+        #: ``collective-algo-accounting`` invariant asserts these equal
+        #: :attr:`algo_round_ledger` exactly: staged forwarding must
+        #: balance in the ledger.
+        self.algo_ledger: Dict[str, PhaseLedger] = {}
+        #: per-phase totals independently re-accounted from the raw
+        #: transfer lists of every round executed inside
+        #: :meth:`algo_scope` (in addition to the main :attr:`ledger`)
+        self.algo_round_ledger: Dict[str, PhaseLedger] = {}
+        #: per-``"collective/algorithm"`` call counts (records which
+        #: algorithm ``auto`` resolved to on every call)
+        self.algo_counts: Dict[str, int] = {}
+        #: running total of staged-engine collective calls (diagnostics)
+        self.n_algo_calls = 0
+        self._algo_scope_depth = 0
         #: trace snapshot taken at attach time so the ledger (which only
         #: sees post-attach traffic) compares against trace *deltas*
         self.trace_baseline: Dict[str, object] = {}
@@ -206,6 +223,11 @@ class CommAuditor:
         if ledger is None:
             ledger = self.ledger[label] = PhaseLedger()
         ledger.add(messages, nbytes)
+        if self._algo_scope_depth > 0:
+            rounds = self.algo_round_ledger.get(label)
+            if rounds is None:
+                rounds = self.algo_round_ledger[label] = PhaseLedger()
+            rounds.add(messages, nbytes)
 
     def ledger_snapshot(self) -> Dict[str, PhaseLedger]:
         return {k: dataclasses.replace(v) for k, v in self.ledger.items()}
@@ -236,6 +258,50 @@ class CommAuditor:
             ledger = self.plan_ledger[label] = PhaseLedger()
         ledger.add(messages, nbytes)
 
+    # -- algorithm-engine hooks ---------------------------------------------------
+
+    def count_algo_call(self, collective: str, algo: str) -> None:
+        """Record the algorithm an engine-enabled collective call resolved to
+        (including ``auto`` resolutions that fall back to ``direct``)."""
+        self.n_algo_calls += 1
+        key = f"{collective}/{algo}"
+        self.algo_counts[key] = self.algo_counts.get(key, 0) + 1
+
+    def observe_algo_collective(
+        self,
+        collective: str,
+        algo: str,
+        phase: Optional[str],
+        messages: int,
+        nbytes: int,
+    ) -> None:
+        """Record a staged engine's schedule-derived planned totals.
+
+        The engine then executes its rounds inside :meth:`algo_scope`,
+        where every :func:`~repro.simmpi.p2p.send_round` is independently
+        re-accounted into :attr:`algo_round_ledger`; the
+        ``collective-algo-accounting`` invariant asserts exact agreement.
+        """
+        label = phase if phase is not None else "other"
+        ledger = self.algo_ledger.get(label)
+        if ledger is None:
+            ledger = self.algo_ledger[label] = PhaseLedger()
+        ledger.add(messages, nbytes)
+
+    def algo_scope(self):
+        """Context manager marking the staged rounds of one engine call."""
+        import contextlib
+
+        @contextlib.contextmanager
+        def scope():
+            self._algo_scope_depth += 1
+            try:
+                yield self
+            finally:
+                self._algo_scope_depth -= 1
+
+        return scope()
+
     # -- collective hooks ---------------------------------------------------------
 
     def observe_alltoallv(
@@ -243,8 +309,16 @@ class CommAuditor:
         sends: Sequence[Dict[int, object]],
         phase: Optional[str],
         count_exchange: str,
+        record: bool = True,
     ) -> None:
-        """Audit one (neighborhood_)alltoallv call from its raw send table."""
+        """Audit one (neighborhood_)alltoallv call from its raw send table.
+
+        ``record=False`` runs every validation (rank range, count symmetry,
+        neighborhood contract) without touching the ledger — the staged
+        algorithm engines use it, because their ledger traffic is
+        re-accounted per round by :meth:`observe_send_round` instead of
+        from the send table.
+        """
         from repro.simmpi.collectives import payload_nbytes
 
         self.n_alltoall_calls += 1
@@ -285,7 +359,8 @@ class CommAuditor:
             check_count_symmetry(send_counts, send_counts.T)
         except CommAuditError as exc:  # pragma: no cover - defensive
             self._fail(str(exc))
-        self._record(phase, messages, nbytes)
+        if record:
+            self._record(phase, messages, nbytes)
 
     def observe_collective(
         self, phase: Optional[str], messages: int, nbytes: int
@@ -418,6 +493,14 @@ class CommAuditor:
                 for k, v in self.trace_baseline.items()
                 if isinstance(v, PhaseStats)
             },
+            "algo_ledger": {
+                k: dataclasses.replace(v) for k, v in self.algo_ledger.items()
+            },
+            "algo_round_ledger": {
+                k: dataclasses.replace(v)
+                for k, v in self.algo_round_ledger.items()
+            },
+            "algo_counts": dict(self.algo_counts),
             "pending_sends": list(self._pending_sends),
             "violations": list(self.violations),
             "n_plan_compiles": self.n_plan_compiles,
@@ -425,6 +508,7 @@ class CommAuditor:
             "n_plan_fused_columns": self.n_plan_fused_columns,
             "n_alltoall_calls": self.n_alltoall_calls,
             "n_p2p_calls": self.n_p2p_calls,
+            "n_algo_calls": self.n_algo_calls,
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
@@ -446,6 +530,18 @@ class CommAuditor:
             str(k): dataclasses.replace(v)
             for k, v in state.get("trace_baseline", {}).items()
         }
+        # pre-engine checkpoints carry no algo keys; restore empties
+        self.algo_ledger = {
+            str(k): dataclasses.replace(v)
+            for k, v in state.get("algo_ledger", {}).items()
+        }
+        self.algo_round_ledger = {
+            str(k): dataclasses.replace(v)
+            for k, v in state.get("algo_round_ledger", {}).items()
+        }
+        self.algo_counts = {
+            str(k): int(v) for k, v in state.get("algo_counts", {}).items()
+        }
         self._pending_sends = [
             (int(s), int(d), int(b)) for s, d, b in state.get("pending_sends", [])
         ]
@@ -455,6 +551,7 @@ class CommAuditor:
         self.n_plan_fused_columns = int(state.get("n_plan_fused_columns", 0))
         self.n_alltoall_calls = int(state.get("n_alltoall_calls", 0))
         self.n_p2p_calls = int(state.get("n_p2p_calls", 0))
+        self.n_algo_calls = int(state.get("n_algo_calls", 0))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -497,6 +594,15 @@ def export_metrics(auditor: CommAuditor, registry=None):
         led = auditor.plan_ledger[phase]
         registry.counter("audit.plan_messages", phase=phase).inc(led.messages)
         registry.counter("audit.plan_bytes", phase=phase).inc(led.bytes)
+    for phase in sorted(auditor.algo_ledger):
+        led = auditor.algo_ledger[phase]
+        registry.counter("audit.algo_messages", phase=phase).inc(led.messages)
+        registry.counter("audit.algo_bytes", phase=phase).inc(led.bytes)
+    for key in sorted(auditor.algo_counts):
+        collective, _, algo = key.partition("/")
+        registry.counter(
+            "audit.algo_calls", collective=collective, algo=algo
+        ).inc(auditor.algo_counts[key])
     registry.counter("audit.alltoallv_calls").inc(auditor.n_alltoall_calls)
     registry.counter("audit.p2p_calls").inc(auditor.n_p2p_calls)
     registry.counter("audit.violations").inc(len(auditor.violations))

@@ -98,6 +98,16 @@ def ledger_fingerprint(auditor) -> str:
     for phase in sorted(getattr(auditor, "plan_ledger", None) or {}):
         led = auditor.plan_ledger[phase]
         h.update(f"plan:{phase}:{led.messages}:{led.bytes};".encode())
+    # staged collective-algorithm ledgers (empty — hence hash-neutral — when
+    # every collective runs the direct algorithm)
+    for phase in sorted(getattr(auditor, "algo_ledger", None) or {}):
+        led = auditor.algo_ledger[phase]
+        h.update(f"algo:{phase}:{led.messages}:{led.bytes};".encode())
+    for phase in sorted(getattr(auditor, "algo_round_ledger", None) or {}):
+        led = auditor.algo_round_ledger[phase]
+        h.update(f"algo-round:{phase}:{led.messages}:{led.bytes};".encode())
+    for key in sorted(getattr(auditor, "algo_counts", None) or {}):
+        h.update(f"algo-count:{key}:{auditor.algo_counts[key]};".encode())
     return h.hexdigest()
 
 
@@ -115,6 +125,8 @@ class DstFailure:
     kill_at: Optional[int] = None
     #: checkpoint file the trajectory resumed from (``run_resume_sweep``)
     resume_from: Optional[str] = None
+    #: collective-algorithm spec the cell ran under (``None`` = direct)
+    algos: Optional[str] = None
 
     def repro_command(self, *, nprocs: int, steps: int, particles: int) -> str:
         """One-line command reproducing exactly this failing cell.
@@ -136,12 +148,13 @@ class DstFailure:
                 f"--seed-list {self.seed}"
             )
         kill = f" --kill-at {self.kill_at}" if self.kill_at is not None else ""
+        algos = f" --algos {self.algos}" if self.algos is not None else ""
         return (
             f"python -m repro.verify dst --solvers {self.solver} "
             f"--methods {self.method!r} --steps {steps} "
             f"--particles {particles} --nprocs {nprocs} "
             f"--distributions {self.distribution} "
-            f"--seed-list {self.seed}{kill}"
+            f"--seed-list {self.seed}{kill}{algos}"
         )
 
 
@@ -159,6 +172,8 @@ class DstReport:
     probes: int
     failures: List[DstFailure]
     distributions: Tuple[str, ...] = DEFAULT_DISTRIBUTIONS
+    #: collective-algorithm specs swept (``None`` entries mean direct)
+    algos: Tuple[Optional[str], ...] = (None,)
 
     @property
     def ok(self) -> bool:
@@ -166,11 +181,14 @@ class DstReport:
 
     def summary(self) -> str:
         status = "ok" if self.ok else f"FAILED ({len(self.failures)})"
+        algos = ""
+        if any(spec is not None for spec in self.algos):
+            algos = f" algos={[spec or 'direct' for spec in self.algos]}"
         return (
             f"[{status}] dst: {self.trajectories} trajectories + "
             f"{self.probes} spmd probes, solvers={list(self.solvers)} "
             f"methods={list(self.methods)} "
-            f"distributions={list(self.distributions)} "
+            f"distributions={list(self.distributions)}{algos} "
             f"seeds={len(self.seeds)} "
             f"steps={self.steps} nprocs={self.nprocs} "
             f"particles={self.particles}"
@@ -202,6 +220,7 @@ def _run_cell(
     kill_at: Optional[int] = None,
     ckpt_dir: Optional[str] = None,
     backend: Optional[str] = None,
+    algos: Optional[str] = None,
 ) -> _Reference:
     """Run one trajectory; check against ``reference`` when given.
 
@@ -267,6 +286,7 @@ def _run_cell(
         track_energy=True,
         solver_kwargs=dict(solver_kwargs or {}),
         perturbation=perturbation,
+        collective_algos=algos,
         **balance_kwargs,
     )
     sim = Simulation(machine, system, config)
@@ -456,6 +476,7 @@ def run_dst(
     kill_at: Optional[int] = None,
     ckpt_dir: Optional[str] = None,
     backend: Optional[str] = None,
+    algos: Optional[Sequence[Optional[str]]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> DstReport:
     """Sweep every (solver, method, distribution) cell under ``seeds``
@@ -480,88 +501,109 @@ def run_dst(
     and ledgers are backend-independent, so the sweep's assertions are
     unchanged — running it under the process engine differentially tests
     the shared-memory transport against the chaos schedules.
+    ``algos`` extends the sweep along the collective-algorithm axis: each
+    entry is a :func:`repro.simmpi.algos.parse_algos` spec string (``None``
+    meaning the direct default) and gets its own reference schedule —
+    staged algorithms change modeled clocks and message counts, but within
+    one spec the chaos property holds unchanged.
     """
     say = progress if progress is not None else (lambda msg: None)
     chosen = list(seed_list) if seed_list is not None else list(range(1, seeds + 1))
+    algo_specs: List[Optional[str]] = list(algos) if algos else [None]
     failures: List[DstFailure] = []
     trajectories = 0
 
-    def obs_path(solver: str, method: str, distribution: str, seed: int):
+    def obs_path(
+        solver: str, method: str, distribution: str, spec: Optional[str], seed: int
+    ):
         if obs_export_dir is None:
             return None
         os.makedirs(obs_export_dir, exist_ok=True)
         slug = method.replace("+", "_")
+        tag = ""
+        if spec is not None:
+            tag = "-" + spec.replace("+", "_").replace("=", "-")
         return os.path.join(
             obs_export_dir,
-            f"{solver}-{slug}-{distribution}-seed{seed}.ndjson",
+            f"{solver}-{slug}-{distribution}{tag}-seed{seed}.ndjson",
         )
 
     for distribution in distributions:
         for solver in solvers:
             for method in methods:
-                cell = f"{solver}/{method}/{distribution}"
-                say(f"dst: {cell} reference schedule ...")
-                reference = _run_cell(
-                    solver,
-                    method,
-                    nprocs,
-                    steps=steps,
-                    n_particles=n_particles,
-                    system_seed=system_seed,
-                    perturbation=None,
-                    reference=None,
-                    distribution=distribution,
-                    obs_export_path=obs_path(solver, method, distribution, 0),
-                    obs_meta={"chaos_seed": 0},
-                    backend=backend,
-                )
-                trajectories += 1
-                for seed in chosen:
-                    perturbation = Perturbation.sample(seed)
-                    try:
-                        _run_cell(
-                            solver,
-                            method,
-                            nprocs,
-                            steps=steps,
-                            n_particles=n_particles,
-                            system_seed=system_seed,
-                            perturbation=perturbation,
-                            reference=reference,
-                            distribution=distribution,
-                            obs_export_path=obs_path(
-                                solver, method, distribution, seed
-                            ),
-                            obs_meta={"chaos_seed": seed},
-                            kill_at=kill_at,
-                            ckpt_dir=ckpt_dir,
-                            backend=backend,
-                        )
-                    except SPMDDeadlock as exc:
-                        failures.append(
-                            DstFailure(
-                                solver, method, seed, f"deadlock: {exc}",
-                                distribution=distribution, kill_at=kill_at,
-                            )
-                        )
-                    except AssertionError as exc:
-                        failures.append(
-                            DstFailure(
-                                solver, method, seed, str(exc),
-                                distribution=distribution, kill_at=kill_at,
-                            )
-                        )
+                for spec in algo_specs:
+                    cell = f"{solver}/{method}/{distribution}"
+                    if spec is not None:
+                        cell += f"/{spec}"
+                    say(f"dst: {cell} reference schedule ...")
+                    reference = _run_cell(
+                        solver,
+                        method,
+                        nprocs,
+                        steps=steps,
+                        n_particles=n_particles,
+                        system_seed=system_seed,
+                        perturbation=None,
+                        reference=None,
+                        distribution=distribution,
+                        obs_export_path=obs_path(
+                            solver, method, distribution, spec, 0
+                        ),
+                        obs_meta={"chaos_seed": 0},
+                        backend=backend,
+                        algos=spec,
+                    )
                     trajectories += 1
-                failed_cell = any(
-                    f.solver == solver
-                    and f.method == method
-                    and f.distribution == distribution
-                    for f in failures
-                )
-                say(
-                    f"dst: {cell} {len(chosen)} seeds "
-                    f"{'FAILED' if failed_cell else 'ok'}"
-                )
+                    for seed in chosen:
+                        perturbation = Perturbation.sample(seed)
+                        try:
+                            _run_cell(
+                                solver,
+                                method,
+                                nprocs,
+                                steps=steps,
+                                n_particles=n_particles,
+                                system_seed=system_seed,
+                                perturbation=perturbation,
+                                reference=reference,
+                                distribution=distribution,
+                                obs_export_path=obs_path(
+                                    solver, method, distribution, spec, seed
+                                ),
+                                obs_meta={"chaos_seed": seed},
+                                kill_at=kill_at,
+                                ckpt_dir=ckpt_dir,
+                                backend=backend,
+                                algos=spec,
+                            )
+                        except SPMDDeadlock as exc:
+                            failures.append(
+                                DstFailure(
+                                    solver, method, seed, f"deadlock: {exc}",
+                                    distribution=distribution, kill_at=kill_at,
+                                    algos=spec,
+                                )
+                            )
+                        except AssertionError as exc:
+                            failures.append(
+                                DstFailure(
+                                    solver, method, seed, str(exc),
+                                    distribution=distribution, kill_at=kill_at,
+                                    algos=spec,
+                                )
+                            )
+                        trajectories += 1
+                    failed_cell = any(
+                        f.solver == solver
+                        and f.method == method
+                        and f.distribution == distribution
+                        and f.algos == spec
+                        for f in failures
+                    )
+                    say(
+                        f"dst: {cell} {len(chosen)} seeds "
+                        f"{'FAILED' if failed_cell else 'ok'}"
+                    )
 
     probe_failures = run_order_invariance_probe(
         nprocs, chosen, rounds=probe_rounds, system_seed=system_seed
@@ -580,6 +622,7 @@ def run_dst(
         probes=probes,
         failures=failures,
         distributions=tuple(distributions),
+        algos=tuple(algo_specs),
     )
 
 

@@ -542,6 +542,39 @@ def _check_plan_accounting(checker: InvariantChecker) -> object:
 
 
 @invariant(
+    "collective-algo-accounting",
+    "staged collective engines' planned traffic equals the audited rounds",
+)
+def _check_collective_algo_accounting(checker: InvariantChecker) -> object:
+    auditor = checker.machine.auditor
+    algo_ledger = getattr(auditor, "algo_ledger", None)
+    if auditor is None or not algo_ledger:
+        return SKIPPED
+    round_ledger = getattr(auditor, "algo_round_ledger", {})
+    for phase, planned in algo_ledger.items():
+        rounds = round_ledger.get(phase)
+        if rounds is None:
+            return (
+                f"phase {phase!r}: algorithm engine planned {planned.messages} "
+                "messages but no staged round was audited"
+            )
+        # planned schedules must balance the executed rounds exactly: a
+        # mismatch means a forwarding step shipped more (or less) than the
+        # engine's symbolic schedule accounted for
+        if planned.messages != rounds.messages:
+            return (
+                f"phase {phase!r}: engine planned {planned.messages} "
+                f"messages, staged rounds carried {rounds.messages}"
+            )
+        if planned.bytes != rounds.bytes:
+            return (
+                f"phase {phase!r}: engine planned {planned.bytes} bytes, "
+                f"staged rounds carried {rounds.bytes}"
+            )
+    return None
+
+
+@invariant(
     "comm-quiescent",
     "no unmatched point-to-point send is pending",
 )

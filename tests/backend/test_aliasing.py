@@ -1,0 +1,172 @@
+"""Delivery aliasing contract (docs/backends.md).
+
+* in-process data plane: inter-rank payloads are delivered **by reference**
+  — the received array IS the sender's array object;
+* process data plane: inter-rank payloads arrive as fresh decoded copies;
+* self-sends return the original payload object on **every** backend (MPI
+  local-delivery semantics).
+
+The corollary every call site must honor: received payloads are read-only.
+Mutating one in place corrupts sender state under the in-process engine
+only — a silent cross-backend divergence.  ``ReadOnlyBackend`` turns such a
+mutation into a hard ``ValueError`` and a short simulation matrix sweeps
+the redistribution call sites under it, staged algorithm engines included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.inprocess import InProcessBackend
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.systems import silica_melt_system
+from repro.simmpi import Machine
+from repro.simmpi.collectives import alltoallv
+from repro.simmpi.p2p import send_round
+
+
+def payload_arrays(payload):
+    if payload is None:
+        return []
+    if isinstance(payload, np.ndarray):
+        return [payload]
+    return list(payload)
+
+
+# ----------------------------------------------------------- the contract
+
+
+class TestInProcessAliasing:
+    def test_alltoallv_delivers_references(self):
+        machine = Machine(3)
+        block = np.arange(4.0)
+        recv = alltoallv(machine, [{1: block}, {}, {}], "sort")
+        ((src, delivered),) = recv[1]
+        assert src == 0
+        assert delivered is block
+
+    def test_self_send_returns_original_object(self):
+        machine = Machine(3)
+        block = np.arange(4.0)
+        recv = alltoallv(machine, [{0: block}, {}, {}], "sort")
+        assert recv[0][0][1] is block
+
+    def test_send_round_delivers_references(self):
+        machine = Machine(2)
+        payload = (np.arange(3.0), np.arange(3))
+        ((_, delivered),) = send_round(machine, [(0, 1, payload)], "sort")[1]
+        assert delivered is payload
+
+    def test_staged_engine_final_recv_references_shipped_columns(self):
+        # pairwise ships each payload exactly once: reference delivery
+        # survives the staged round
+        machine = Machine(2)
+        machine.set_collective_algos("alltoallv=pairwise")
+        block = np.arange(5.0)
+        recv = alltoallv(machine, [{1: block}, {}], "sort")
+        assert recv[1][0][1] is block
+
+
+class TestProcessAliasing:
+    def test_inter_rank_payloads_are_fresh_copies(self, process_backend):
+        machine = Machine(3)
+        machine.attach_backend(process_backend)
+        block = np.arange(4.0)
+        recv = alltoallv(machine, [{1: block}, {}, {}], "sort")
+        ((_, delivered),) = recv[1]
+        assert delivered is not block
+        np.testing.assert_array_equal(delivered, block)
+        delivered += 100.0  # mutating a copy must not reach the sender
+        np.testing.assert_array_equal(block, np.arange(4.0))
+
+    def test_self_send_returns_original_object(self, process_backend):
+        machine = Machine(3)
+        machine.attach_backend(process_backend)
+        block = np.arange(4.0)
+        recv = alltoallv(machine, [{0: block}, {}, {}], "sort")
+        assert recv[0][0][1] is block
+
+    @pytest.mark.parametrize("algo", ["pairwise", "bruck"])
+    def test_staged_payloads_are_fresh_copies(self, process_backend, algo):
+        machine = Machine(4)
+        machine.attach_backend(process_backend)
+        machine.set_collective_algos(f"alltoallv={algo}")
+        blocks = [np.full(3, float(i)) for i in range(4)]
+        sends = [
+            {j: blocks[i] for j in range(4) if j != i} for i in range(4)
+        ]
+        recv = alltoallv(machine, sends, "sort")
+        for dst in range(4):
+            for src, payload in recv[dst]:
+                for arr in payload_arrays(payload):
+                    assert arr is not blocks[src]
+                    np.testing.assert_array_equal(arr, blocks[src])
+
+
+# --------------------------------------- mutation sweep over the call sites
+
+
+class ReadOnlyBackend(InProcessBackend):
+    """In-process delivery with inter-rank arrays delivered write-protected.
+
+    Any call site that mutates a received payload in place — legal-looking
+    under reference delivery, silently divergent under a process backend —
+    raises ``ValueError: assignment destination is read-only`` instead.
+    Self-transfers keep the original writable object, matching the real
+    engines.
+    """
+
+    name = "inprocess-readonly"
+
+    @staticmethod
+    def _protect(payload):
+        def view(arr):
+            out = arr.view()
+            out.flags.writeable = False
+            return out
+
+        if payload is None:
+            return None
+        if isinstance(payload, np.ndarray):
+            return view(payload)
+        if isinstance(payload, tuple):
+            return tuple(view(a) for a in payload)
+        return [view(a) for a in payload]
+
+    def deliver(self, sends, nprocs):
+        protected = [
+            {
+                dst: (p if dst == src else self._protect(p))
+                for dst, p in targets.items()
+            }
+            for src, targets in enumerate(sends)
+        ]
+        return super().deliver(protected, nprocs)
+
+    def route(self, transfers, nprocs):
+        return super().route(
+            [
+                (src, dst, p if dst == src else self._protect(p))
+                for src, dst, p in transfers
+            ],
+            nprocs,
+        )
+
+
+@pytest.mark.parametrize("solver,method", [("direct", "A"), ("fmm", "B+move")])
+@pytest.mark.parametrize(
+    "algos", [None, "bruck+binomial-tree+allgatherv=ring", "alltoallv=pairwise"]
+)
+def test_no_call_site_mutates_received_payloads(solver, method, algos):
+    machine = Machine(4)
+    machine.attach_backend(ReadOnlyBackend())
+    system = silica_melt_system(24, seed=0)
+    config = SimulationConfig(
+        solver=solver, method=method, seed=0, collective_algos=algos
+    )
+    sim = Simulation(machine, system, config)
+    try:
+        sim.run(2)
+    finally:
+        sim.fcs.destroy()
